@@ -1,0 +1,81 @@
+"""Ablation: file-level zone maps on top of block-level zone maps.
+
+AsterixDB keeps only whole-file min/max filters; the paper's LevelDB++
+"also maintain[s] filters for all blocks inside an SSTable", plus one
+file-level zone map in the manifest.  This ablation quantifies the
+file-level layer: without it, a time-window query probes the per-block
+structures of *every* file instead of skipping non-overlapping files
+outright.
+"""
+
+import pytest
+
+from harness import BENCH_PROFILE, ResultTable, bench_options
+
+from repro.core.database import SecondaryIndexedDB
+from repro.core.embedded import EmbeddedIndex
+from repro.core.validity import ValidityChecker
+from repro.lsm.db import DB
+from repro.lsm.vfs import MemoryVFS
+from repro.workloads.tweets import TweetGenerator
+
+_N = 3000
+_RESULTS: dict = {}
+
+_TABLE = ResultTable(
+    "ablation_zonemap_levels",
+    "Ablation — file-level zone-map pre-filter (time-window RANGELOOKUP)",
+    ["file_zonemaps", "filter_probes_per_query", "files_pruned_per_query",
+     "read_blocks_per_query"])
+
+
+def _build(use_file_zonemaps):
+    options = bench_options(indexed_attributes=("CreationTime",))
+    primary = DB.open(MemoryVFS(), "data/primary", options)
+    checker = ValidityChecker(primary)
+    index = EmbeddedIndex("CreationTime", primary, checker,
+                          use_file_zonemaps=use_file_zonemaps)
+    db = SecondaryIndexedDB(primary, {"CreationTime": index}, checker)
+    generator = TweetGenerator(BENCH_PROFILE, seed=51)
+    times = []
+    for key, doc in generator.tweets(_N):
+        db.put(key, doc)
+        times.append(doc["CreationTime"])
+    db.flush()
+    return db, times
+
+
+@pytest.mark.parametrize("use_file_zonemaps", [True, False],
+                         ids=["with-file-zm", "block-zm-only"])
+def test_ablation_file_zonemaps(benchmark, use_file_zonemaps):
+    db, times = _build(use_file_zonemaps)
+    lo_bound, hi_bound = times[0], times[-1]
+    windows = [(start, start + 3) for start in
+               range(lo_bound, hi_bound - 3, (hi_bound - lo_bound) // 20)]
+    index = db.indexes["CreationTime"]
+    index.filter_probes = 0
+    index.files_pruned = 0
+    reads_before = db.primary.vfs.stats.read_blocks
+
+    def run_queries():
+        for low, high in windows:
+            db.range_lookup("CreationTime", low, high, 10,
+                            early_termination=False)
+
+    benchmark.pedantic(run_queries, rounds=2, iterations=1)
+    probes = index.filter_probes / (2 * len(windows))
+    pruned = index.files_pruned / (2 * len(windows))
+    reads = (db.primary.vfs.stats.read_blocks - reads_before) \
+        / (2 * len(windows))
+    label = "on" if use_file_zonemaps else "off"
+    _TABLE.add(label, f"{probes:.0f}", f"{pruned:.1f}", f"{reads:.1f}")
+    _RESULTS[use_file_zonemaps] = {"probes": probes, "reads": reads}
+    db.close()
+    if len(_RESULTS) == 2:
+        _TABLE.note("block reads match in both modes (block zone maps are "
+                    "sound); the file-level layer saves the CPU probes")
+        _TABLE.write()
+        # Same I/O either way, but far fewer filter probes with the
+        # file-level pre-filter.
+        assert _RESULTS[True]["probes"] < _RESULTS[False]["probes"]
+        assert abs(_RESULTS[True]["reads"] - _RESULTS[False]["reads"]) < 2.0

@@ -1,0 +1,95 @@
+"""Distributed extension: local vs global secondary indexes (Appendix D).
+
+The paper's related-work section contrasts Riak/Cassandra-style *local*
+indexes (per-shard, scatter-gather queries) with DynamoDB-style *global*
+indexes (a separate ring partitioned by attribute value).  This benchmark
+measures the trade-off the single-node experiments cannot see: query
+fan-out vs write fan-out, as the shard count grows.
+"""
+
+import time
+
+import pytest
+
+from harness import BENCH_PROFILE, ResultTable, bench_options
+
+from repro.core.base import IndexKind
+from repro.dist.cluster import ShardedDB
+from repro.workloads.tweets import TweetGenerator
+
+_N = 3000
+_SHARD_COUNTS = [2, 8]
+_RESULTS: dict = {}
+
+_TABLE = ResultTable(
+    "dist_local_vs_global",
+    "Distributed — local (scatter-gather) vs global (routed) indexes",
+    ["scope", "shards", "us_per_lookup", "data_shards_per_lookup",
+     "index_shards_per_lookup", "us_per_put"])
+
+
+def _build(scope, num_shards):
+    if scope == "local":
+        cluster = ShardedDB.open_memory(
+            num_shards=num_shards,
+            local_indexes={"UserID": IndexKind.LAZY},
+            options=bench_options())
+    else:
+        cluster = ShardedDB.open_memory(
+            num_shards=num_shards, global_indexes=("UserID",),
+            options=bench_options())
+    generator = TweetGenerator(BENCH_PROFILE, seed=83)
+    started = time.perf_counter()
+    for key, doc in generator.tweets(_N):
+        cluster.put(key, doc)
+    put_us = (time.perf_counter() - started) * 1e6 / _N
+    return cluster, put_us
+
+
+@pytest.mark.parametrize("num_shards", _SHARD_COUNTS)
+@pytest.mark.parametrize("scope", ["local", "global"])
+def test_dist_local_vs_global(benchmark, scope, num_shards):
+    cluster, put_us = _build(scope, num_shards)
+    users = [f"u{r:05d}" for r in range(20)]
+
+    cluster.data_shards_contacted = 0
+    gsi = cluster.global_indexes.get("UserID")
+    if gsi is not None:
+        gsi.shards_contacted = 0
+
+    def run_lookups():
+        for user in users:
+            cluster.lookup("UserID", user, k=5)
+
+    benchmark.pedantic(run_lookups, rounds=2, iterations=1)
+    lookup_us = benchmark.stats.stats.mean * 1e6 / len(users)
+    data_fan = cluster.data_shards_contacted / (2 * len(users))
+    index_fan = 0.0 if gsi is None else \
+        gsi.shards_contacted / (2 * len(users))
+
+    _TABLE.add(scope, num_shards, f"{lookup_us:.0f}", f"{data_fan:.1f}",
+               f"{index_fan:.1f}", f"{put_us:.0f}")
+    _RESULTS[(scope, num_shards)] = {
+        "data_fan": data_fan, "index_fan": index_fan, "put_us": put_us}
+    cluster.close()
+    if len(_RESULTS) == len(_SHARD_COUNTS) * 2:
+        _finalize()
+
+
+def _finalize():
+    _TABLE.note("local: every data shard answers each lookup; "
+                "global: one index shard + per-result validation GETs")
+    _TABLE.write()
+    for num_shards in _SHARD_COUNTS:
+        local = _RESULTS[("local", num_shards)]
+        global_ = _RESULTS[("global", num_shards)]
+        # Local scatter-gather touches every data shard per query...
+        assert local["data_fan"] == num_shards
+        # ...while the global index resolves on exactly one index shard
+        # and touches data shards only to validate the K results.
+        assert global_["index_fan"] == 1.0
+        assert global_["data_fan"] <= 6.0  # ~K validation GETs
+    # The query fan-out gap widens with the cluster (the DynamoDB
+    # argument for GSIs).
+    assert _RESULTS[("local", 8)]["data_fan"] > \
+        _RESULTS[("local", 2)]["data_fan"]

@@ -1,0 +1,48 @@
+"""Figure 7: rank-frequency distribution of the UserID attribute.
+
+The paper plots the seed dataset's user rank vs tweet count on log-log
+axes: a power law with the busiest user posting orders of magnitude more
+than the tail.  The synthetic generator must preserve that shape, because
+posting-list length variance is what stresses the Eager index.
+"""
+
+import math
+
+from harness import BENCH_PROFILE, ResultTable
+
+from repro.workloads.tweets import TweetGenerator, rank_frequency
+
+
+def _generate(num_tweets: int):
+    generator = TweetGenerator(BENCH_PROFILE, seed=7)
+    return [doc for _key, doc in generator.tweets(num_tweets)]
+
+
+def test_fig07_user_rank_frequency(benchmark):
+    documents = benchmark.pedantic(_generate, args=(20000,),
+                                   rounds=1, iterations=1)
+    series = rank_frequency(documents)
+
+    table = ResultTable(
+        "fig07_distribution",
+        "Figure 7 — UserID rank-frequency (log-log power law)",
+        ["rank", "frequency", "log10(rank)", "log10(freq)"])
+    picked = [1, 2, 3, 5, 10, 20, 50, 100, 150, len(series)]
+    for rank in picked:
+        frequency = series[rank - 1][1]
+        table.add(rank, frequency, f"{math.log10(rank):.2f}",
+                  f"{math.log10(frequency):.2f}")
+
+    # Power-law shape check: log-log slope between head and tail ~ -1.
+    head_rank, head_freq = series[0]
+    tail_rank, tail_freq = series[len(series) // 2]
+    slope = (math.log10(tail_freq) - math.log10(head_freq)) / \
+        (math.log10(tail_rank) - math.log10(head_rank))
+    table.note(f"log-log slope head->median: {slope:.2f} "
+               f"(paper's seed set is ~ -1)")
+    table.note(f"avg tweets/user: {20000 / len(series):.1f} "
+               f"(paper seed: 30)")
+    table.write()
+
+    assert -1.6 < slope < -0.5
+    assert series[0][1] > 10 * series[len(series) // 2][1]

@@ -1,0 +1,107 @@
+"""Figure 8: how each index variant affects basic LevelDB operations.
+
+* (a) database size — Embedded ≈ NoIndex < stand-alone variants; Eager's
+  lists are more compact than Lazy's fragments *after compaction*, but its
+  obsolete list versions inflate the live tree between compactions.
+* (b) PUT cost — Embedded near-zero overhead; Composite < Lazy < Eager.
+* (c) GET cost — identical across variants (no index touches the GET path).
+"""
+
+import random
+
+import pytest
+
+from harness import (
+    ALL_KINDS,
+    ResultTable,
+    build_static,
+    index_io,
+)
+
+from repro.core.base import IndexKind
+
+_SIZE_TABLE = ResultTable(
+    "fig08a_sizes",
+    "Figure 8a — database size per index variant (bytes)",
+    ["variant", "primary", "index:UserID", "index:CreationTime", "total"])
+_PUT_TABLE = ResultTable(
+    "fig08b_put",
+    "Figure 8b — PUT cost per variant (6000 tweets, 2 indexed attributes)",
+    ["variant", "build_seconds", "us_per_put", "index_write_blocks",
+     "index_read_blocks", "index_compaction_blocks"])
+_GET_TABLE = ResultTable(
+    "fig08c_get",
+    "Figure 8c — GET latency parity across variants",
+    ["variant", "us_per_get", "primary_read_blocks_per_get"])
+
+_RESULTS: dict = {}
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda k: k.value)
+def test_fig08_build_and_get(benchmark, kind):
+    """Builds one variant (timed), then measures GETs on it."""
+    import time
+
+    started = time.perf_counter()
+    db, workload = build_static(kind)
+    build_seconds = time.perf_counter() - started
+    db.flush()
+
+    breakdown = db.size_breakdown()
+    _SIZE_TABLE.add(kind.value, breakdown["primary"],
+                    breakdown["index:UserID"],
+                    breakdown["index:CreationTime"],
+                    sum(breakdown.values()))
+
+    io = index_io(db)
+    _PUT_TABLE.add(kind.value, f"{build_seconds:.2f}",
+                   f"{build_seconds * 1e6 / len(workload.tweets):.1f}",
+                   io["write"], io["read"], io["compaction"])
+
+    rng = random.Random(99)
+    keys = [key for key, _doc in rng.sample(workload.tweets, 200)]
+    reads_before = db.primary.vfs.stats.read_blocks
+
+    def do_gets():
+        for key in keys:
+            db.get(key)
+
+    benchmark.pedantic(do_gets, rounds=3, iterations=1)
+    reads = db.primary.vfs.stats.read_blocks - reads_before
+    per_get = benchmark.stats.stats.mean * 1e6 / len(keys)
+    _GET_TABLE.add(kind.value, f"{per_get:.1f}", f"{reads / (3 * 200):.2f}")
+
+    _RESULTS[kind] = {
+        "total_size": sum(breakdown.values()),
+        "index_size": breakdown["index:UserID"]
+        + breakdown["index:CreationTime"],
+        "index_writes": io["write"],
+        "index_reads": io["read"],
+        "get_us": per_get,
+    }
+    db.close()
+
+    if len(_RESULTS) == len(ALL_KINDS):
+        _finalize()
+
+
+def _finalize():
+    for table in (_SIZE_TABLE, _PUT_TABLE, _GET_TABLE):
+        table.write()
+    res = _RESULTS
+    # (a) Embedded adds no separate index table; stand-alone variants do.
+    assert res[IndexKind.EMBEDDED]["index_size"] == 0
+    assert res[IndexKind.NOINDEX]["index_size"] == 0
+    for kind in (IndexKind.EAGER, IndexKind.LAZY, IndexKind.COMPOSITE):
+        assert res[kind]["total_size"] > res[IndexKind.NOINDEX]["total_size"]
+    # (b) Eager's read-modify-write dominates index I/O.
+    assert res[IndexKind.EAGER]["index_writes"] > \
+        2 * res[IndexKind.LAZY]["index_writes"]
+    assert res[IndexKind.EAGER]["index_reads"] > \
+        res[IndexKind.LAZY]["index_reads"]
+    assert res[IndexKind.EMBEDDED]["index_writes"] == 0
+    # (c) GET parity: every variant within 3x of the no-index baseline
+    # (the paper reports sub-millisecond differences).
+    baseline = res[IndexKind.NOINDEX]["get_us"]
+    for kind in ALL_KINDS:
+        assert res[kind]["get_us"] < baseline * 3 + 50

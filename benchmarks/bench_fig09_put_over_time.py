@@ -1,0 +1,104 @@
+"""Figure 9: PUT performance and index-compaction I/O as the database grows.
+
+* (a/b) mean PUT latency per attribute index, sampled as the store grows —
+  roughly flat for every variant except Eager;
+* (c) cumulative index-table I/O for compaction+maintenance — Eager's
+  UserID curve grows super-linearly (its posting lists keep being
+  rewritten), while its time-correlated CreationTime index stays cheaper
+  ("the posting list is created sequentially"), and Lazy/Composite stay
+  near-linear.
+"""
+
+import time
+
+import pytest
+
+from harness import (
+    BENCH_OPTIONS,
+    BENCH_PROFILE,
+    ResultTable,
+    STANDALONE_KINDS,
+    index_io,
+)
+
+from repro.core.base import IndexKind
+from repro.core.database import SecondaryIndexedDB
+from repro.workloads.tweets import TweetGenerator
+
+_CHECKPOINTS = [1000, 2000, 3000, 4000]
+_SERIES: dict = {}
+
+
+def _build_with_sampling(kind, attribute):
+    generator = TweetGenerator(BENCH_PROFILE, seed=5)
+    db = SecondaryIndexedDB.open_memory(
+        indexes={attribute: kind}, options=BENCH_OPTIONS)
+    samples = []
+    done = 0
+    window_started = time.perf_counter()
+    for checkpoint in _CHECKPOINTS:
+        while done < checkpoint:
+            key, doc = generator.next_tweet()
+            db.put(key, doc)
+            done += 1
+        window_seconds = time.perf_counter() - window_started
+        window_started = time.perf_counter()
+        samples.append({
+            "puts": done,
+            "window_us_per_put": window_seconds * 1e6 / _CHECKPOINTS[0],
+            "index_io": index_io(db),
+        })
+    db.close()
+    return samples
+
+
+@pytest.mark.parametrize("attribute", ["UserID", "CreationTime"])
+@pytest.mark.parametrize("kind", STANDALONE_KINDS, ids=lambda k: k.value)
+def test_fig09_put_over_time(benchmark, kind, attribute):
+    samples = benchmark.pedantic(_build_with_sampling,
+                                 args=(kind, attribute),
+                                 rounds=1, iterations=1)
+    _SERIES[(kind, attribute)] = samples
+    if len(_SERIES) == len(STANDALONE_KINDS) * 2:
+        _finalize()
+
+
+def _finalize():
+    latency = ResultTable(
+        "fig09ab_put_latency",
+        "Figure 9a/b — PUT latency over time (us/put per 1000-put window)",
+        ["variant", "attribute", *[f"@{c}" for c in _CHECKPOINTS]])
+    compaction = ResultTable(
+        "fig09c_index_io",
+        "Figure 9c — cumulative index-table I/O blocks (maintenance + "
+        "compaction)",
+        ["variant", "attribute", *[f"@{c}" for c in _CHECKPOINTS]])
+    for (kind, attribute), samples in sorted(
+            _SERIES.items(), key=lambda item: (item[0][1], item[0][0].value)):
+        latency.add(kind.value, attribute,
+                    *[f"{s['window_us_per_put']:.0f}" for s in samples])
+        compaction.add(kind.value, attribute,
+                       *[s["index_io"]["write"] + s["index_io"]["read"]
+                         for s in samples])
+    latency.write()
+    compaction.write()
+
+    def total_io(kind, attribute):
+        return (_SERIES[(kind, attribute)][-1]["index_io"]["write"]
+                + _SERIES[(kind, attribute)][-1]["index_io"]["read"])
+
+    # Eager's non-time-correlated index I/O dwarfs Lazy's and Composite's.
+    assert total_io(IndexKind.EAGER, "UserID") > \
+        3 * total_io(IndexKind.LAZY, "UserID")
+    assert total_io(IndexKind.EAGER, "UserID") > \
+        3 * total_io(IndexKind.COMPOSITE, "UserID")
+    # Eager is cheaper on the time-correlated attribute than on UserID.
+    assert total_io(IndexKind.EAGER, "CreationTime") < \
+        total_io(IndexKind.EAGER, "UserID")
+    # Super-linear growth check for Eager/UserID: the last thousand puts
+    # cost more I/O than the first thousand.
+    series = _SERIES[(IndexKind.EAGER, "UserID")]
+    first_window = series[0]["index_io"]["write"]
+    last_window = (series[-1]["index_io"]["write"]
+                   - series[-2]["index_io"]["write"])
+    assert last_window > first_window

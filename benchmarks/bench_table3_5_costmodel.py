@@ -1,0 +1,171 @@
+"""Tables 3 and 5: measured disk accesses vs the analytic cost model.
+
+Each operation's measured block I/O is checked against the paper's
+formulas (Section 3.1 / 4.3), instantiated with the store's actual shape
+(levels, blocks, posting-list lengths).  Absolute agreement is not the
+goal — the formulas are worst cases — but the measured numbers must fall
+within the bounds and reproduce the orderings the paper derives from them.
+"""
+
+import pytest
+
+from harness import (
+    BENCH_PROFILE,
+    ResultTable,
+    bench_options,
+)
+
+from repro.core.base import IndexKind
+from repro.core.costmodel import CostModel
+from repro.core.database import SecondaryIndexedDB
+from repro.workloads.tweets import TweetGenerator
+
+_N = 2500
+_K = 10
+_TABLE = ResultTable(
+    "table3_5_costmodel",
+    "Tables 3/5 — measured disk accesses vs analytic model (K=10)",
+    ["operation", "variant", "model", "measured", "verdict"])
+_STATE: dict = {}
+
+
+def _build(kind):
+    generator = TweetGenerator(BENCH_PROFILE, seed=17)
+    db = SecondaryIndexedDB.open_memory(
+        indexes={"UserID": kind}, options=bench_options())
+    for key, doc in generator.tweets(_N):
+        db.put(key, doc)
+    return db
+
+
+def _index_levels(db):
+    index_db = getattr(next(iter(db.indexes.values())), "index_db", None)
+    if index_db is None:
+        return db.primary.num_nonempty_levels()
+    return index_db.num_nonempty_levels()
+
+
+def _index_reads(db):
+    index_db = getattr(next(iter(db.indexes.values())), "index_db", None)
+    if index_db is None:
+        return 0
+    return index_db.vfs.stats.read_blocks
+
+
+def _check(operation, kind, model_value, measured, ok):
+    _TABLE.add(operation, kind.value, model_value, f"{measured:.1f}",
+               "ok" if ok else "VIOLATION")
+    assert ok, (operation, kind, model_value, measured)
+
+
+@pytest.mark.parametrize(
+    "kind", [IndexKind.EMBEDDED, IndexKind.EAGER, IndexKind.LAZY,
+             IndexKind.COMPOSITE], ids=lambda k: k.value)
+def test_tables_3_5_per_variant(benchmark, kind):
+    db = benchmark.pedantic(_build, args=(kind,), rounds=1, iterations=1)
+    levels = _index_levels(db)
+
+    # --- GET: 1 disk access for every variant (Table 3 & 5, GET row). ----
+    # A warm-up pass loads each file's index/filter metadata (the paper's
+    # memory-resident metadata); the measured pass counts only data-block
+    # reads, which is what the paper's "disk access" means.
+    keys = [f"t{i:010d}" for i in range(0, _N, 37)]
+    for key in keys:
+        db.get(key)
+    reads_before = db.primary.vfs.stats.reads_by_category.get("data", 0)
+    for key in keys:
+        db.get(key)
+    per_get = (db.primary.vfs.stats.reads_by_category.get("data", 0)
+               - reads_before) / len(keys)
+    _check("GET", kind, "1 (+bloom fp)", per_get, per_get <= 2.0)
+
+    # --- PUT: index-table accesses per write (Table 5 PUT/DEL row). -------
+    index_reads_before = _index_reads(db)
+    generator = TweetGenerator(BENCH_PROFILE, seed=99)
+    extra = 200
+    for key, doc in generator.tweets(extra):
+        db.put("x" + key, doc)
+    put_index_reads = (_index_reads(db) - index_reads_before) / extra
+    if kind == IndexKind.EAGER:
+        # Eager reads the posting list back on every PUT (l = 1 here).
+        _check("PUT index reads", kind, ">= l = 1", put_index_reads,
+               put_index_reads >= 0.5)
+    else:
+        # Lazy/Composite/Embedded never read the index table on writes.
+        _check("PUT index reads", kind, "0", put_index_reads,
+               put_index_reads <= 0.1)
+
+    # --- LOOKUP(A, a, K): Table 3 (Embedded) / Table 5 (Stand-Alone). ----
+    hot_users = [f"u{r:05d}" for r in range(8)]
+    gets_before = db.checker.validation_gets
+    reads_before = db.primary.vfs.stats.read_blocks
+    index_before = _index_reads(db)
+    if kind == IndexKind.EMBEDDED:
+        index = db.indexes["UserID"]
+        index.blocks_read = 0
+        for user in hot_users:
+            db.lookup("UserID", user, _K)
+        blocks = index.blocks_read / len(hot_users)
+        model = CostModel(
+            levels=levels, level0_blocks=50,
+            bloom_bits_per_key=db.primary.options
+            .secondary_bloom_bits_per_key)
+        # The K + eps term: matched blocks; eps covers scanning to the end
+        # of each level.  Bound generously by the number of blocks that can
+        # contain matches for a hot user.
+        bound = model.lookup_cost(IndexKind.EMBEDDED, k_matched=_K,
+                                  epsilon=4 * levels)
+        _check("LOOKUP blocks", kind, f"<= {bound:.0f}", blocks,
+               blocks <= bound + 1)
+    else:
+        for user in hot_users:
+            db.lookup("UserID", user, _K)
+        index_blocks = (_index_reads(db) - index_before) / len(hot_users)
+        if kind == IndexKind.EAGER:
+            # One posting-list read; long lists may span a few blocks.
+            _check("LOOKUP index reads", kind, "~1 list", index_blocks,
+                   index_blocks <= 4)
+        else:
+            # Up to L index-table accesses (fragments / prefix per level).
+            _check("LOOKUP index reads", kind, f"<= L+eps (L={levels})",
+                   index_blocks, index_blocks <= 3 * levels + 2)
+        validation = (db.checker.validation_gets - gets_before) \
+            / len(hot_users)
+        _check("LOOKUP data GETs", kind, f"~K' >= K={_K}", validation,
+               validation <= 3 * _K)
+
+    _STATE[kind] = {"index_write_bytes": _total_index_write_bytes(db)}
+    db.close()
+    if len(_STATE) == 4:
+        _finalize_wamf()
+
+
+def _total_index_write_bytes(db):
+    total = 0
+    seen = {id(db.primary.vfs)}
+    for index in db.indexes.values():
+        index_db = getattr(index, "index_db", None)
+        if index_db is not None and id(index_db.vfs) not in seen:
+            seen.add(id(index_db.vfs))
+            total += index_db.vfs.stats.write_bytes
+    return total
+
+
+def _finalize_wamf():
+    # --- Write amplification (Table 5's WAMF column). ---------------------
+    # Measured as total bytes ever written to the index table per PUT
+    # (WAL + flush + every compaction rewrite).  The paper's closed forms
+    # are per-record rewrite counts, so the comparable signal is the
+    # ordering: Eager (PL_S * 22(L-1)) must dwarf Lazy and Composite, which
+    # share the plain-table 22(L-1).
+    amps = {}
+    for kind in (IndexKind.EAGER, IndexKind.LAZY, IndexKind.COMPOSITE):
+        amps[kind] = _STATE[kind]["index_write_bytes"] / _N
+        _TABLE.add("WAMF (index bytes/put)", kind.value,
+                   "PL_S*22(L-1)" if kind == IndexKind.EAGER else "22(L-1)",
+                   f"{amps[kind]:.0f}", "ok")
+    _TABLE.write()
+    assert amps[IndexKind.EAGER] > 2 * amps[IndexKind.LAZY]
+    assert amps[IndexKind.EAGER] > 2 * amps[IndexKind.COMPOSITE]
+    ratio = amps[IndexKind.LAZY] / amps[IndexKind.COMPOSITE]
+    assert 0.25 < ratio < 4.0  # same model value: same ballpark

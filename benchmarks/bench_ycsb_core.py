@@ -1,0 +1,67 @@
+"""Extension: the YCSB core workloads over every index variant.
+
+The paper cites YCSB as the standard key-value benchmark whose lack of
+secondary-attribute control motivated its own generator.  Running YCSB
+A-F through the same harness anchors this reproduction against the
+industry-standard suite: the primary-key workloads (A-D, F) should be
+nearly index-agnostic, while E's scans run through the secondary machinery
+via the mirrored ``_key`` attribute.
+"""
+
+import pytest
+
+from harness import ResultTable, bench_options
+
+from repro.core.base import IndexKind
+from repro.core.database import SecondaryIndexedDB
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.ycsb import CORE_WORKLOADS, YCSBWorkload
+
+_KINDS = [IndexKind.EMBEDDED, IndexKind.LAZY, IndexKind.COMPOSITE]
+_RECORDS = 1500
+_OPERATIONS = 2500
+_RESULTS: dict = {}
+
+_TABLE = ResultTable(
+    "ycsb_core",
+    f"YCSB core workloads ({_RECORDS} records, {_OPERATIONS} transactions)",
+    ["workload", "variant", "us_per_op", "read_blocks", "write_blocks"])
+
+
+def _run(kind, workload_name):
+    db = SecondaryIndexedDB.open_memory(
+        indexes={"_key": kind}, options=bench_options())
+    workload = YCSBWorkload(workload_name, record_count=_RECORDS,
+                            operation_count=_OPERATIONS, seed=19)
+    report = WorkloadRunner(db, sample_every=10**9).run(
+        workload.operations())
+    reads = db.primary.vfs.stats.read_blocks
+    writes = db.primary.vfs.stats.write_blocks
+    db.close()
+    return report, reads, writes
+
+
+@pytest.mark.parametrize("workload_name", sorted(CORE_WORKLOADS))
+@pytest.mark.parametrize("kind", _KINDS, ids=lambda k: k.value)
+def test_ycsb_core(benchmark, kind, workload_name):
+    report, reads, writes = benchmark.pedantic(
+        _run, args=(kind, workload_name), rounds=1, iterations=1)
+    mean = report.mean_micros()
+    _TABLE.add(workload_name, kind.value, f"{mean:.0f}", reads, writes)
+    _RESULTS[(kind, workload_name)] = mean
+    if len(_RESULTS) == len(_KINDS) * len(CORE_WORKLOADS):
+        _finalize()
+
+
+def _finalize():
+    _TABLE.note("A-D and F are primary-key workloads: variants should be "
+                "within ~2x of each other; E (scans) exercises the "
+                "secondary index")
+    _TABLE.write()
+    # Primary-key workloads are nearly index-agnostic.
+    for workload_name in "ABCDF":
+        costs = [_RESULTS[(kind, workload_name)] for kind in _KINDS]
+        assert max(costs) < 4 * min(costs), workload_name
+    # C (pure zipfian reads) must be the cheapest mix for every variant.
+    for kind in _KINDS:
+        assert _RESULTS[(kind, "C")] <= _RESULTS[(kind, "E")]

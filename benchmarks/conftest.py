@@ -1,0 +1,45 @@
+"""Session fixtures for the benchmark suite.
+
+``static_db`` memoizes one fully built Static-workload database per index
+variant, shared across benchmark modules — the build phase is itself the
+measured subject of Figures 8 and 9, which use their own fresh builds.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import build_static  # noqa: E402
+
+
+class _StaticCache:
+    """Builds Static databases on demand and owns their lifetime."""
+
+    def __init__(self) -> None:
+        self._built = {}
+        self.build_seconds = {}
+
+    def get(self, kind):
+        if kind not in self._built:
+            import time
+
+            started = time.perf_counter()
+            self._built[kind] = build_static(kind)
+            self.build_seconds[kind] = time.perf_counter() - started
+        return self._built[kind]
+
+    def close(self) -> None:
+        for db, _workload in self._built.values():
+            db.close()
+
+
+@pytest.fixture(scope="session")
+def static_cache():
+    cache = _StaticCache()
+    yield cache
+    cache.close()

@@ -1,0 +1,73 @@
+"""Durability walkthrough: WAL replay, manifest recovery, integrity audit.
+
+Uses the on-disk :class:`~repro.lsm.vfs.LocalVFS` so you can inspect the
+produced files (SSTables, WAL segments, MANIFEST, CURRENT) in a temp
+directory, then demonstrates that a "crash" (dropping the handle without
+flushing) loses nothing and that the integrity checker audits the result.
+
+Run with::
+
+    python examples/crash_recovery.py
+"""
+
+import tempfile
+
+from repro import IndexKind, SecondaryIndexedDB
+from repro.lsm.checker import verify_integrity
+from repro.lsm.options import Options
+from repro.lsm.vfs import LocalVFS
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="leveldbpp-")
+    # sync_writes=True fsyncs the WAL after every write batch, so even an
+    # abrupt crash loses nothing.  (LevelDB's default — and this library's
+    # — is asynchronous: a crash may lose the last few unsynced writes,
+    # exactly as LevelDB documents.)
+    options = Options(block_size=2048, sstable_target_size=16 * 1024,
+                      memtable_budget=16 * 1024, l1_target_size=64 * 1024,
+                      sync_writes=True)
+    print(f"database directory: {root}")
+
+    # Phase 1: write, flush some of it, then "crash" without closing
+    # cleanly — the last writes live only in the write-ahead log.
+    vfs = LocalVFS(root)
+    db = SecondaryIndexedDB.open(vfs, "data", {"UserID": IndexKind.LAZY},
+                                 options)
+    for i in range(500):
+        db.put(f"t{i:05d}", {"UserID": f"u{i % 7}", "Body": "x" * 60})
+    db.flush()
+    for i in range(500, 520):
+        db.put(f"t{i:05d}", {"UserID": "u1", "Body": "only-in-the-wal"})
+    print("wrote 520 records; the last 20 were never flushed")
+    files = vfs.list_dir("data/")
+    print(f"on disk: {sum(1 for f in files if f.endswith('.ldb'))} tables, "
+          f"{sum(1 for f in files if f.endswith('.log'))} WAL segment(s), "
+          f"CURRENT -> manifest")
+    # Simulated crash: drop every handle without close()/flush().
+    del db
+
+    # Phase 2: reopen — manifest replays version edits, the WAL replays
+    # the unflushed tail, and the Lazy index answers over all 520 records.
+    vfs2 = LocalVFS(root)
+    recovered = SecondaryIndexedDB.open(vfs2, "data",
+                                        {"UserID": IndexKind.LAZY}, options)
+    assert recovered.get("t00519") == {"UserID": "u1",
+                                       "Body": "only-in-the-wal"}
+    u1_tweets = recovered.lookup("UserID", "u1", early_termination=False)
+    print(f"\nafter recovery: t00519 = {recovered.get('t00519')['Body']!r}")
+    print(f"u1 has {len(u1_tweets)} tweets "
+          f"(including all 20 WAL-only writes)")
+
+    # Phase 3: audit the recovered store — CRCs, key order, manifest
+    # consistency, bloom/zone-map soundness.
+    report = verify_integrity(recovered.primary)
+    print(f"\nintegrity audit: {report.tables_checked} tables, "
+          f"{report.blocks_checked} blocks, "
+          f"{report.entries_checked} entries — "
+          f"{'CLEAN' if report.ok else report.problems}")
+    recovered.close()
+
+
+if __name__ == "__main__":
+    main()

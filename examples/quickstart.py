@@ -1,0 +1,60 @@
+"""Quickstart: a key-value store with secondary indexes in ten lines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import IndexKind, SecondaryIndexedDB
+
+
+def main() -> None:
+    # Open an in-memory database with two secondary indexes: a Lazy
+    # (Cassandra-style) index on user_id and an Embedded (bloom filter +
+    # zone map) index on created_at.
+    db = SecondaryIndexedDB.open_memory(indexes={
+        "user_id": IndexKind.LAZY,
+        "created_at": IndexKind.EMBEDDED,
+    })
+
+    # PUT: documents are plain dicts; secondary attributes live inside.
+    db.put("tweet-1", {"user_id": "alice", "created_at": 100,
+                       "text": "hello world"})
+    db.put("tweet-2", {"user_id": "bob", "created_at": 105,
+                       "text": "hi alice"})
+    db.put("tweet-3", {"user_id": "alice", "created_at": 110,
+                       "text": "hi bob"})
+
+    # GET on the primary key.
+    print("GET tweet-2:", db.get("tweet-2"))
+
+    # LOOKUP on a secondary attribute: K most recent matches.
+    print("\nalice's tweets, newest first:")
+    for result in db.lookup("user_id", "alice", k=10):
+        print(f"  {result.key}: {result.document['text']}")
+
+    # RANGELOOKUP on a secondary attribute.
+    print("\ntweets created in [100, 106]:")
+    for result in db.range_lookup("created_at", 100, 106):
+        print(f"  {result.key} @ {result.document['created_at']}")
+
+    # Updates keep every index consistent: alice hands tweet-1 to carol.
+    db.put("tweet-1", {"user_id": "carol", "created_at": 100,
+                       "text": "hello world"})
+    print("\nafter the update, alice has:",
+          [r.key for r in db.lookup("user_id", "alice")])
+    print("and carol has:", [r.key for r in db.lookup("user_id", "carol")])
+
+    # DELETE removes the record and its index entries.
+    db.delete("tweet-3")
+    print("after deleting tweet-3, alice has:",
+          [r.key for r in db.lookup("user_id", "alice")])
+
+    # Storage accounting per table.
+    db.flush()
+    print("\nsize breakdown (bytes):", db.size_breakdown())
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

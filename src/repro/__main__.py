@@ -1,0 +1,8 @@
+"""``python -m repro`` — the maintenance CLI (see :mod:`repro.tools`)."""
+
+import sys
+
+from repro.tools import main
+
+if __name__ == "__main__":
+    sys.exit(main())

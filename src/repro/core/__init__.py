@@ -1,0 +1,38 @@
+"""Secondary indexing for LSM stores — the paper's contribution.
+
+Five techniques over one engine (the paper's Table 2 taxonomy):
+
+===============  ==============================================================
+Kind             Mechanism
+===============  ==============================================================
+``EMBEDDED``     Per-block secondary bloom filters + zone maps inside the
+                 primary table's SSTables; no separate index structure
+                 (Section 3).
+``EAGER``        Stand-alone index table with read-modify-write posting
+                 lists (Section 4.1.1) — MongoDB/CouchDB/Riak style.
+``LAZY``         Stand-alone index table with append-only posting fragments
+                 merged during compaction (Section 4.1.2) — Cassandra style.
+``COMPOSITE``    Stand-alone index table keyed by (secondary ⧺ primary)
+                 composite keys (Section 4.2) — AsterixDB/Spanner style.
+``NOINDEX``      Full-scan baseline.
+===============  ==============================================================
+
+:class:`repro.core.database.SecondaryIndexedDB` is the facade that keeps a
+primary table and any number of these indexes consistent and exposes the
+paper's five operations (Table 1): PUT, GET, DEL, LOOKUP, RANGELOOKUP.
+"""
+
+from repro.core.base import IndexKind, LookupResult, SecondaryIndex
+from repro.core.costmodel import CostModel
+from repro.core.database import SecondaryIndexedDB
+from repro.core.selector import IndexSelector, WorkloadProfile
+
+__all__ = [
+    "CostModel",
+    "IndexKind",
+    "IndexSelector",
+    "LookupResult",
+    "SecondaryIndex",
+    "SecondaryIndexedDB",
+    "WorkloadProfile",
+]

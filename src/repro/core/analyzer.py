@@ -1,0 +1,147 @@
+"""Workload analysis: derive a Figure-2 profile from an operation trace.
+
+The paper's selection strategy (Figure 2) takes workload facts as inputs —
+operation ratios, typical top-K, attribute time-correlation.  In practice
+nobody knows those numbers; they are measured from a trace.  This module
+closes that loop::
+
+    profile = analyze_trace(operations, attribute="UserID")
+    recommendation = IndexSelector().recommend(profile)
+
+Time-correlation is estimated the way the paper defines it ("its value for
+a record is highly correlated with the record's insertion timestamp") —
+the rank correlation between insertion order and attribute order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.records import attribute_of
+from repro.core.selector import WorkloadProfile
+from repro.lsm.zonemap import encode_attribute
+from repro.workloads.ops import Delete, Get, Lookup, Operation, Put, RangeLookup
+
+#: |Spearman rho| above which an attribute counts as time-correlated.
+TIME_CORRELATION_THRESHOLD = 0.8
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Raw counts extracted from a trace (before profile normalisation)."""
+
+    puts: int
+    gets: int
+    deletes: int
+    lookups: int
+    range_lookups: int
+    top_ks: tuple[int, ...]
+    unlimited_top_k: int
+    time_correlation: float | None
+
+    @property
+    def total(self) -> int:
+        return (self.puts + self.gets + self.deletes + self.lookups
+                + self.range_lookups)
+
+
+def spearman_rank_correlation(values: list) -> float:
+    """Spearman's rho between position and value rank.
+
+    1.0 for a monotonically increasing attribute (perfectly
+    time-correlated, like the paper's CreationTime or tweet-id), ~0 for a
+    shuffled one (like UserID).
+    """
+    n = len(values)
+    if n < 2:
+        return 0.0
+    order = sorted(range(n), key=lambda i: values[i])
+    ranks = [0.0] * n
+    index = 0
+    while index < n:
+        # Average ranks across ties so duplicates do not bias rho.
+        start = index
+        while index + 1 < n and \
+                values[order[index + 1]] == values[order[start]]:
+            index += 1
+        average = (start + index) / 2.0
+        for position in range(start, index + 1):
+            ranks[order[position]] = average
+        index += 1
+    mean = (n - 1) / 2.0
+    covariance = sum((i - mean) * (ranks[i] - mean) for i in range(n))
+    variance = sum((i - mean) ** 2 for i in range(n))
+    rank_variance = sum((r - mean) ** 2 for r in ranks)
+    if variance == 0 or rank_variance == 0:
+        return 0.0
+    return covariance / (variance * rank_variance) ** 0.5
+
+
+def summarize_trace(operations: Iterable[Operation],
+                    attribute: str) -> TraceSummary:
+    """One pass over a trace, collecting everything Figure 2 needs."""
+    puts = gets = deletes = lookups = range_lookups = unlimited = 0
+    top_ks: list[int] = []
+    inserted_values: list[bytes] = []
+    for operation in operations:
+        if isinstance(operation, Put):
+            puts += 1
+            value = attribute_of(operation.document, attribute)
+            if value is not None and not operation.is_update:
+                inserted_values.append(encode_attribute(value))
+        elif isinstance(operation, Get):
+            gets += 1
+        elif isinstance(operation, Delete):
+            deletes += 1
+        elif isinstance(operation, Lookup):
+            if operation.attribute == attribute:
+                lookups += 1
+                if operation.k is None:
+                    unlimited += 1
+                else:
+                    top_ks.append(operation.k)
+        elif isinstance(operation, RangeLookup):
+            if operation.attribute == attribute:
+                range_lookups += 1
+                if operation.k is None:
+                    unlimited += 1
+                else:
+                    top_ks.append(operation.k)
+    correlation = None
+    if len(inserted_values) >= 2:
+        correlation = spearman_rank_correlation(inserted_values)
+    return TraceSummary(puts, gets, deletes, lookups, range_lookups,
+                        tuple(top_ks), unlimited, correlation)
+
+
+def analyze_trace(operations: Iterable[Operation], attribute: str,
+                  space_constrained: bool = False) -> WorkloadProfile:
+    """Build the :class:`WorkloadProfile` a trace implies for ``attribute``.
+
+    Deletes count as writes (they cost index maintenance like PUTs).  The
+    typical top-K is the median of observed Ks, or ``None`` when the
+    majority of secondary queries ran unlimited.
+    """
+    summary = summarize_trace(operations, attribute)
+    total = summary.total
+    if total == 0:
+        raise ValueError("empty trace")
+    limited = len(summary.top_ks)
+    if summary.unlimited_top_k > limited:
+        typical_top_k = None
+    elif limited:
+        typical_top_k = sorted(summary.top_ks)[limited // 2]
+    else:
+        typical_top_k = 10  # no secondary queries observed: neutral default
+    return WorkloadProfile(
+        put_fraction=(summary.puts + summary.deletes) / total,
+        get_fraction=summary.gets / total,
+        lookup_fraction=summary.lookups / total,
+        range_lookup_fraction=summary.range_lookups / total,
+        typical_top_k=typical_top_k,
+        time_correlated=(summary.time_correlation is not None
+                         and abs(summary.time_correlation)
+                         >= TIME_CORRELATION_THRESHOLD),
+        space_constrained=space_constrained,
+    )

@@ -1,0 +1,330 @@
+"""``SecondaryIndexedDB`` — the LevelDB++ facade.
+
+One primary data table plus any number of secondary indexes, kept
+consistent through the write path and queried through the paper's five
+operations (Table 1)::
+
+    db = SecondaryIndexedDB.open_memory(indexes={
+        "user_id": IndexKind.LAZY,
+        "creation_time": IndexKind.EMBEDDED,
+    })
+    db.put("t1", {"user_id": "u1", "creation_time": 17, "text": "..."})
+    db.lookup("user_id", "u1", k=10)
+    db.range_lookup("creation_time", 10, 20, k=10)
+
+Each stand-alone index lives in its *own* LSM table ("column family"), by
+default on its own metered VFS so that the paper's per-table I/O series
+(data-table GETs vs index compaction, Figures 9 and 13-15) fall directly
+out of the meters.
+
+Consistency model (Section 1's "managing the consistency between secondary
+indexes and data tables"): the data table is written first and is always
+authoritative; index maintenance follows synchronously in the same call.
+Stale index entries left behind by updates are filtered at query time by
+validating every candidate against the data table — the same design as the
+paper's LevelDB++.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Mapping
+
+from repro.core.base import IndexKind, LookupResult, SecondaryIndex
+from repro.core.composite import CompositeIndex
+from repro.core.eager import EagerIndex
+from repro.core.embedded import EmbeddedIndex
+from repro.core.lazy import LazyIndex
+from repro.core.noindex import NoIndex
+from repro.core.posting import posting_merge_operator
+from repro.core.records import (
+    Document,
+    attribute_of,
+    decode_document,
+    encode_document,
+    key_to_bytes,
+)
+from repro.core.validity import ValidityChecker
+from repro.lsm.db import DB
+from repro.lsm.errors import InvalidArgumentError
+from repro.lsm.options import Options
+from repro.lsm.vfs import MemoryVFS, VFS
+
+
+class SecondaryIndexedDB:
+    """A NoSQL store with pluggable secondary indexes (the paper's system)."""
+
+    def __init__(self, primary: DB, indexes: dict[str, SecondaryIndex],
+                 checker: ValidityChecker) -> None:
+        """Assembled by :meth:`open` / :meth:`open_memory`."""
+        self.primary = primary
+        self.indexes = indexes
+        self.checker = checker
+        self._needs_old_doc_on_delete = any(
+            index.kind in (IndexKind.EAGER, IndexKind.LAZY,
+                           IndexKind.COMPOSITE)
+            for index in indexes.values())
+        self._closed = False
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def open(cls, vfs: VFS, name: str = "data",
+             indexes: Mapping[str, IndexKind] | None = None,
+             options: Options | None = None,
+             index_vfs_factory=None) -> "SecondaryIndexedDB":
+        """Open the primary table and one index table per stand-alone index.
+
+        ``indexes`` maps attribute name to technique.  ``index_vfs_factory``
+        (``lambda table_name: VFS``) lets callers give each index table its
+        own metered filesystem; by default index tables share ``vfs``.
+        """
+        indexes = dict(indexes or {})
+        base_options = options or Options()
+        embedded_attrs = tuple(sorted(
+            attr for attr, kind in indexes.items()
+            if kind == IndexKind.EMBEDDED))
+        primary_options = replace(base_options,
+                                  indexed_attributes=embedded_attrs,
+                                  merge_operator=None)
+        primary = DB.open(vfs, f"{name}/primary", primary_options)
+        checker = ValidityChecker(primary)
+
+        built: dict[str, SecondaryIndex] = {}
+        for attribute, kind in indexes.items():
+            built[attribute] = cls._build_index(
+                attribute, kind, primary, checker, base_options,
+                vfs, name, index_vfs_factory)
+        return cls(primary, built, checker)
+
+    @classmethod
+    def open_memory(cls, indexes: Mapping[str, IndexKind] | None = None,
+                    options: Options | None = None,
+                    name: str = "data",
+                    shared_vfs: bool = False) -> "SecondaryIndexedDB":
+        """In-memory database; each table gets its own meters by default."""
+        vfs = MemoryVFS()
+        factory = None if shared_vfs else (lambda _table_name: MemoryVFS())
+        return cls.open(vfs, name, indexes, options,
+                        index_vfs_factory=factory)
+
+    @classmethod
+    def _build_index(cls, attribute: str, kind: IndexKind, primary: DB,
+                     checker: ValidityChecker, base_options: Options,
+                     vfs: VFS, name: str, index_vfs_factory
+                     ) -> SecondaryIndex:
+        if not isinstance(kind, IndexKind):
+            raise InvalidArgumentError(f"unknown index kind: {kind!r}")
+        if kind == IndexKind.EMBEDDED:
+            return EmbeddedIndex(attribute, primary, checker)
+        if kind == IndexKind.NOINDEX:
+            return NoIndex(attribute, primary)
+        table_name = f"{name}/index-{kind.value}-{attribute}"
+        table_vfs = vfs if index_vfs_factory is None \
+            else index_vfs_factory(table_name)
+        merge_operator = posting_merge_operator \
+            if kind == IndexKind.LAZY else None
+        index_options = replace(base_options,
+                                indexed_attributes=(),
+                                merge_operator=merge_operator)
+        index_db = DB.open(table_vfs, table_name, index_options)
+        if kind == IndexKind.EAGER:
+            return EagerIndex(attribute, index_db, checker)
+        if kind == IndexKind.LAZY:
+            return LazyIndex(attribute, index_db, checker)
+        if kind == IndexKind.COMPOSITE:
+            return CompositeIndex(attribute, index_db, checker)
+        raise InvalidArgumentError(f"unknown index kind: {kind!r}")
+
+    # -- base operations (Table 1) ----------------------------------------------
+
+    def put(self, key: str | bytes, document: Document) -> int:
+        """PUT(k, v): write (or overwrite) and maintain every index."""
+        self._check_open()
+        key_bytes = key_to_bytes(key)
+        self.primary.put(key_bytes, encode_document(document))
+        seq = self.primary.versions.last_sequence
+        for index in self.indexes.values():
+            index.on_put(key_bytes, document, seq)
+        return seq
+
+    def get(self, key: str | bytes) -> Document | None:
+        """GET(k): the live document, or ``None``."""
+        self._check_open()
+        value = self.primary.get(key_to_bytes(key))
+        if value is None:
+            return None
+        return decode_document(value)
+
+    def delete(self, key: str | bytes) -> None:
+        """DEL(k): remove the record and maintain every index.
+
+        Stand-alone indexes need the dying record's attribute values to
+        target the right posting list / composite key, so their presence
+        costs one data-table GET here (the paper's Table 5 read column).
+        """
+        self._check_open()
+        key_bytes = key_to_bytes(key)
+        old_document: Document | None = None
+        if self._needs_old_doc_on_delete:
+            old_value = self.primary.get(key_bytes)
+            if old_value is not None:
+                old_document = decode_document(old_value)
+        self.primary.delete(key_bytes)
+        seq = self.primary.versions.last_sequence
+        for index in self.indexes.values():
+            index.on_delete(key_bytes, old_document, seq)
+
+    # -- secondary queries (Table 1) -----------------------------------------------
+
+    def lookup(self, attribute: str, value: Any, k: int | None = None,
+               early_termination: bool = True) -> list[LookupResult]:
+        """LOOKUP(A, a, K): K most recent live records with val(A) = a."""
+        self._check_open()
+        return self._index_for(attribute).lookup(value, k, early_termination)
+
+    def range_lookup(self, attribute: str, low: Any, high: Any,
+                     k: int | None = None,
+                     early_termination: bool = True) -> list[LookupResult]:
+        """RANGELOOKUP(A, a, b, K): K most recent with a <= val(A) <= b."""
+        self._check_open()
+        return self._index_for(attribute).range_lookup(
+            low, high, k, early_termination)
+
+    def multi_lookup(self, conditions: Mapping[str, Any],
+                     k: int | None = None) -> list[LookupResult]:
+        """Conjunctive query: records matching *every* ``attr == value``.
+
+        Executes the single LOOKUP the planner judges most selective
+        (fewest matches under the cost model's proxy: the index with the
+        cheapest exhaustive lookup — ties broken by attribute name) and
+        filters its results by the remaining conditions; every attribute
+        must be indexed.  This is the classic index-intersection plan
+        reduced to probe-one-filter-rest, which is optimal here because
+        all results carry the full document.
+        """
+        self._check_open()
+        if not conditions:
+            raise InvalidArgumentError("multi_lookup needs >= 1 condition")
+        for attribute in conditions:
+            self._index_for(attribute)  # validate up front
+        # Drive from the attribute whose index kind answers exhaustive
+        # lookups cheapest: stand-alone kinds before EMBEDDED before
+        # NOINDEX (full scan only as a last resort).
+        preference = {
+            IndexKind.EAGER: 0, IndexKind.LAZY: 1, IndexKind.COMPOSITE: 1,
+            IndexKind.EMBEDDED: 2, IndexKind.NOINDEX: 3,
+        }
+        driver = min(conditions,
+                     key=lambda attr: (preference[self.indexes[attr].kind],
+                                       attr))
+        results = []
+        for result in self.indexes[driver].lookup(
+                conditions[driver], None, early_termination=False):
+            if all(attribute_of(result.document, attribute) == value
+                   for attribute, value in conditions.items()):
+                results.append(result)
+                if k is not None and len(results) >= k:
+                    break
+        return results
+
+    def scan(self, low: str | bytes | None = None,
+             high: str | bytes | None = None):
+        """Ordered iteration over live ``(key, document)`` pairs.
+
+        A primary-key range scan (LevelDB's iterator API); bounds are
+        inclusive, ``None`` means unbounded.
+        """
+        self._check_open()
+        low_bytes = key_to_bytes(low) if low is not None else None
+        high_bytes = key_to_bytes(high) if high is not None else None
+        for key, value in self.primary.scan(low_bytes, high_bytes):
+            yield key.decode("utf-8", errors="replace"), \
+                decode_document(value)
+
+    def _index_for(self, attribute: str) -> SecondaryIndex:
+        try:
+            return self.indexes[attribute]
+        except KeyError:
+            raise InvalidArgumentError(
+                f"no secondary index on attribute {attribute!r}; "
+                f"indexed: {sorted(self.indexes)}") from None
+
+    # -- maintenance & introspection ---------------------------------------------
+
+    def flush(self) -> None:
+        """Flush the primary table and every index table."""
+        self._check_open()
+        self.primary.flush()
+        for index in self.indexes.values():
+            index.flush()
+
+    def compact_all(self) -> None:
+        """Full manual compaction of all tables (for static experiments)."""
+        self._check_open()
+        self.primary.compact_range()
+        for index in self.indexes.values():
+            index.compact()
+
+    def checkpoint(self, dest_vfs: VFS, name: str = "data") -> int:
+        """Copy the primary table and every index table to ``dest_vfs``.
+
+        Table names follow :meth:`open`'s layout, so the checkpoint opens
+        with ``SecondaryIndexedDB.open(dest_vfs, name, same_indexes)``.
+        Returns the total number of files copied.
+        """
+        self._check_open()
+        copied = self.primary.checkpoint(dest_vfs, f"{name}/primary")
+        for attribute, index in self.indexes.items():
+            index_db = getattr(index, "index_db", None)
+            if index_db is None:
+                continue
+            index.flush()
+            copied += index_db.checkpoint(
+                dest_vfs, f"{name}/index-{index.kind.value}-{attribute}")
+        return copied
+
+    def size_breakdown(self) -> dict[str, int]:
+        """Bytes per table — the paper's Figure 8a decomposition.
+
+        The Embedded index reports 0 here because its structures live
+        inside the primary table's files ("more space efficient ... close
+        to having no index").
+        """
+        breakdown = {"primary": self.primary.approximate_size()}
+        for attribute, index in self.indexes.items():
+            breakdown[f"index:{attribute}"] = index.size_bytes()
+        return breakdown
+
+    def total_size(self) -> int:
+        return sum(self.size_breakdown().values())
+
+    def io_stats(self) -> dict[str, Any]:
+        """Per-table I/O meters plus validation-GET counters."""
+        stats: dict[str, Any] = {"primary": self.primary.vfs.stats}
+        for attribute, index in self.indexes.items():
+            index_db = getattr(index, "index_db", None)
+            if index_db is not None:
+                stats[f"index:{attribute}"] = index_db.vfs.stats
+        stats["validation_gets"] = self.checker.validation_gets
+        return stats
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for index in self.indexes.values():
+            index.close()
+        self.primary.close()
+        self._closed = True
+
+    def __enter__(self) -> "SecondaryIndexedDB":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            from repro.lsm.errors import DBClosedError
+
+            raise DBClosedError("database is closed")

@@ -1,0 +1,177 @@
+"""The Stand-Alone Eager Index (paper Section 4.1.1).
+
+A separate LSM index table maps each attribute value to a JSON posting
+list of ``[primary_key, seq]`` pairs, newest first.  Every PUT performs the
+read-update-write cycle of the paper's Example 1: "first reads the current
+postings list of a_i from the index table, adds k to the list and writes
+back the updated list" — which keeps LOOKUP down to a single index read
+but makes the index table rewrite an average of ``PL_S`` postings per
+write, producing the catastrophic write amplification of Figure 9c
+(``WAMF = PL_S * 22 * (L-1)``, Table 5).
+
+This is the strategy of MongoDB/CouchDB-style B+-tree indexes and of
+Riak's secondary indexes, transplanted onto an LSM index table.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator
+
+from repro.core.base import IndexKind, LookupResult, SecondaryIndex
+from repro.core.posting import (
+    PostingEntry,
+    decode_posting_list,
+    encode_posting_list,
+)
+from repro.core.records import (
+    Document,
+    attribute_of,
+    key_to_bytes,
+    key_to_str,
+)
+from repro.core.topk import TopKBySeq
+from repro.core.validity import (
+    ValidityChecker,
+    attribute_equals,
+    attribute_in_range,
+)
+from repro.lsm.db import DB
+from repro.lsm.zonemap import encode_attribute
+
+
+class EagerIndex(SecondaryIndex):
+    """Read-modify-write posting lists in a stand-alone index table."""
+
+    kind = IndexKind.EAGER
+
+    def __init__(self, attribute: str, index_db: DB,
+                 checker: ValidityChecker) -> None:
+        super().__init__(attribute)
+        self.index_db = index_db
+        self.checker = checker
+        #: Index-table reads performed by the write path — the "Read l"
+        #: column of Table 5 that the Lazy/Composite variants avoid.
+        self.write_path_reads = 0
+
+    # -- write hooks ------------------------------------------------------------
+
+    def on_put(self, key: bytes, document: Document, seq: int) -> None:
+        attr_value = attribute_of(document, self.attribute)
+        if attr_value is None:
+            return
+        index_key = encode_attribute(attr_value)
+        entries = self._read_list(index_key)
+        key_str = key_to_str(key)
+        entries = [entry for entry in entries if entry.key != key_str]
+        entries.insert(0, PostingEntry(key_str, seq))
+        self.index_db.put(index_key, encode_posting_list(entries))
+
+    def on_delete(self, key: bytes, old_document: Document | None,
+                  seq: int) -> None:
+        if old_document is None:
+            return
+        attr_value = attribute_of(old_document, self.attribute)
+        if attr_value is None:
+            return
+        index_key = encode_attribute(attr_value)
+        entries = self._read_list(index_key)
+        key_str = key_to_str(key)
+        remaining = [entry for entry in entries if entry.key != key_str]
+        if len(remaining) != len(entries):
+            self.index_db.put(index_key, encode_posting_list(remaining))
+
+    def _read_list(self, index_key: bytes) -> list[PostingEntry]:
+        self.write_path_reads += 1
+        payload = self.index_db.get(index_key)
+        if payload is None:
+            return []
+        return decode_posting_list(payload)
+
+    # -- queries -----------------------------------------------------------------
+
+    def lookup(self, value: Any, k: int | None = None,
+               early_termination: bool = True) -> list[LookupResult]:
+        """Algorithm 2: one index read, then GET-and-validate a K prefix."""
+        payload = self.index_db.get(encode_attribute(value))
+        if payload is None:
+            return []
+        predicate = attribute_equals(self.attribute, value)
+        results: list[LookupResult] = []
+        for entry in decode_posting_list(payload):
+            if entry.deleted:
+                continue
+            found = self.checker.fetch_valid(key_to_bytes(entry.key),
+                                             predicate)
+            if found is None:
+                continue
+            document, seq = found
+            results.append(LookupResult(entry.key, document, seq))
+            if k is not None and len(results) >= k:
+                break
+        return results
+
+    def range_lookup(self, low: Any, high: Any, k: int | None = None,
+                     early_termination: bool = True) -> list[LookupResult]:
+        """Range scan on the index table, merging lists newest-first.
+
+        "We issue this range query on our index table for given range
+        [a, b] ... we need to add associated posting lists' primary keys to
+        the min-heap to get the top-k" — implemented as a K-way merge of the
+        (already time-sorted) posting lists so candidates are validated in
+        strictly newest-first order and validation GETs stop after K hits.
+        """
+        low_encoded = encode_attribute(low)
+        high_encoded = encode_attribute(high)
+        if low_encoded > high_encoded:
+            return []
+        predicate = attribute_in_range(self.attribute, low, high,
+                                       encode_attribute)
+        heap: TopKBySeq[LookupResult] = TopKBySeq(k)
+        seen: set[str] = set()
+        for entry in self._merged_candidates(low_encoded, high_encoded):
+            if entry.deleted or entry.key in seen:
+                continue
+            seen.add(entry.key)
+            if k is not None and heap.is_full and not \
+                    heap.would_accept(entry.seq):
+                break  # candidates arrive newest-first: nothing better follows
+            found = self.checker.fetch_valid(key_to_bytes(entry.key),
+                                             predicate)
+            if found is None:
+                continue
+            document, seq = found
+            heap.add(seq, LookupResult(entry.key, document, seq))
+        return heap.results()
+
+    def _merged_candidates(self, low: bytes, high: bytes
+                           ) -> Iterator[PostingEntry]:
+        """All postings in the value range, globally newest-first."""
+        lists = []
+        for _key, payload in self.index_db.scan(low, high):
+            entries = decode_posting_list(payload)
+            if entries:
+                lists.append(entries)
+        merged: list[tuple[int, int, int]] = []  # (-seq, list_idx, pos)
+        for index, entries in enumerate(lists):
+            heapq.heappush(merged, (-entries[0].seq, index, 0))
+        while merged:
+            _neg_seq, index, pos = heapq.heappop(merged)
+            yield lists[index][pos]
+            if pos + 1 < len(lists[index]):
+                heapq.heappush(
+                    merged, (-lists[index][pos + 1].seq, index, pos + 1))
+
+    # -- maintenance ----------------------------------------------------------
+
+    def flush(self) -> None:
+        self.index_db.flush()
+
+    def compact(self) -> None:
+        self.index_db.compact_range()
+
+    def size_bytes(self) -> int:
+        return self.index_db.approximate_size()
+
+    def close(self) -> None:
+        self.index_db.close()

@@ -1,0 +1,219 @@
+"""The Stand-Alone Lazy Index (paper Section 4.1.2).
+
+Cassandra's strategy: a PUT on the data table issues a blind
+``PUT(a_i, [k])`` on the index table — a one-entry posting *fragment* —
+"but nothing else.  Thus, the postings list for a_i will be scattered in
+different levels.  During merge compaction, we merge these fragmented
+lists."  The fragments are merge operands of the storage engine
+(:meth:`repro.lsm.db.DB.merge`), combined by
+:func:`repro.core.posting.posting_merge_operator` exactly when compaction
+touches them.
+
+LOOKUP (Algorithm 3) walks the index table level by level, newest
+component first; since fragments only migrate downward through compaction,
+every fragment of a key is strictly newer than the same key's fragments in
+deeper levels, so the scan may stop as soon as the top-K heap fills at a
+level boundary — the property that makes Lazy beat Composite on small-K
+queries (Figure 10a).
+
+DEL writes a fragment carrying a deletion marker, which cancels older
+postings of the key when fragments merge (during compaction or at query
+time).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.base import IndexKind, LookupResult, SecondaryIndex
+from repro.core.posting import decode_posting_list, single_posting_fragment
+from repro.core.records import (
+    Document,
+    attribute_of,
+    key_to_bytes,
+    key_to_str,
+)
+from repro.core.topk import TopKBySeq
+from repro.core.validity import (
+    ValidityChecker,
+    attribute_equals,
+    attribute_in_range,
+)
+from repro.lsm.db import DB
+from repro.lsm.keys import KIND_DELETE, KIND_MERGE
+from repro.lsm.zonemap import encode_attribute
+
+
+class _HarvestState:
+    """Cross-level bookkeeping for one query (see ``LazyIndex._harvest``)."""
+
+    __slots__ = ("resolved", "cancelled")
+
+    def __init__(self) -> None:
+        self.resolved: set[str] = set()
+        self.cancelled: set[tuple[bytes, str]] = set()
+
+
+class LazyIndex(SecondaryIndex):
+    """Append-only posting fragments merged by compaction."""
+
+    kind = IndexKind.LAZY
+
+    def __init__(self, attribute: str, index_db: DB,
+                 checker: ValidityChecker) -> None:
+        super().__init__(attribute)
+        if index_db.options.merge_operator is None:
+            raise ValueError(
+                "the Lazy index table must be opened with the posting "
+                "merge operator (see repro.core.posting)")
+        self.index_db = index_db
+        self.checker = checker
+        #: Levels visited by LOOKUPs (the "up to L reads" of Table 5).
+        self.levels_visited = 0
+        self.lookups = 0
+
+    # -- write hooks ---------------------------------------------------------
+
+    def on_put(self, key: bytes, document: Document, seq: int) -> None:
+        attr_value = attribute_of(document, self.attribute)
+        if attr_value is None:
+            return
+        self.index_db.merge(encode_attribute(attr_value),
+                            single_posting_fragment(key_to_str(key), seq))
+
+    def on_delete(self, key: bytes, old_document: Document | None,
+                  seq: int) -> None:
+        if old_document is None:
+            return
+        attr_value = attribute_of(old_document, self.attribute)
+        if attr_value is None:
+            return
+        self.index_db.merge(
+            encode_attribute(attr_value),
+            single_posting_fragment(key_to_str(key), seq, deleted=True))
+
+    # -- queries --------------------------------------------------------------
+
+    def lookup(self, value: Any, k: int | None = None,
+               early_termination: bool = True) -> list[LookupResult]:
+        """Algorithm 3: merge the key's fragments, one level at a time."""
+        self.lookups += 1
+        fragments = self.index_db.fragments_by_level(encode_attribute(value))
+        predicate = attribute_equals(self.attribute, value)
+        heap: TopKBySeq[LookupResult] = TopKBySeq(k)
+        state = _HarvestState()
+        for _level, entries in fragments:
+            self.levels_visited += 1
+            stop_descending = self._consume_level(
+                entries, heap, state, predicate)
+            if stop_descending:
+                break
+            if early_termination and heap.is_full:
+                break
+        return heap.results()
+
+    def _consume_level(self, entries, heap: TopKBySeq[LookupResult],
+                       state: "_HarvestState", predicate) -> bool:
+        """Process one level's fragments; True if deeper levels are shadowed.
+
+        A ``KIND_VALUE`` entry is a fully folded list (compaction reached a
+        base), and a tombstone hides everything older — in both cases
+        deeper levels hold only obsolete data for this key.
+        """
+        for kind, _seq, payload in entries:
+            if kind != KIND_MERGE:
+                if kind == KIND_DELETE:
+                    return True
+                self._harvest(b"", decode_posting_list(payload), heap, state,
+                              predicate)
+                return True
+            self._harvest(b"", decode_posting_list(payload), heap, state,
+                          predicate)
+        return False
+
+    def _harvest(self, index_key: bytes, postings,
+                 heap: TopKBySeq[LookupResult], state: "_HarvestState",
+                 predicate) -> None:
+        """Validate postings against the data table, newest first.
+
+        Bookkeeping rules (shared by LOOKUP and RANGELOOKUP):
+
+        * a primary key whose fate was decided by a data-table GET is
+          *resolved* — later (older or duplicate) postings are ignored;
+        * a deletion marker *cancels* older postings of the same primary
+          key under the same index key (markers are always encountered
+          before the postings they cancel, because fragments only migrate
+          downward);
+        * a posting too old for the heap is skipped without a GET, but left
+          unresolved: the same record may carry a newer posting under a
+          different attribute value in a range scan.
+        """
+        for posting in postings:
+            if posting.key in state.resolved:
+                continue
+            scope = (index_key, posting.key)
+            if scope in state.cancelled:
+                continue
+            if posting.deleted:
+                state.cancelled.add(scope)
+                continue
+            if not heap.would_accept(posting.seq):
+                continue  # too old: skip the data-table GET entirely
+            state.resolved.add(posting.key)
+            found = self.checker.fetch_valid(key_to_bytes(posting.key),
+                                             predicate)
+            if found is None:
+                continue
+            document, seq = found
+            heap.add(seq, LookupResult(posting.key, document, seq))
+
+    def range_lookup(self, low: Any, high: Any, k: int | None = None,
+                     early_termination: bool = True) -> list[LookupResult]:
+        """Algorithm 6: a level-by-level range scan over the index table.
+
+        "The original range iterator ... does not scan a key within the
+        range in lower levels if it already exists in an upper level.  We
+        force the iterator to scan level by level (same as LOOKUP)."
+        ``early_termination`` stops at a level boundary once K results are
+        held; because different attribute values compact at different
+        times, this is the paper's behaviour but is only approximately
+        top-K — pass ``False`` for an exhaustive (exact) scan.
+        """
+        low_encoded = encode_attribute(low)
+        high_encoded = encode_attribute(high)
+        if low_encoded > high_encoded:
+            return []
+        predicate = attribute_in_range(self.attribute, low, high,
+                                       encode_attribute)
+        heap: TopKBySeq[LookupResult] = TopKBySeq(k)
+        state = _HarvestState()
+        shadowed: set[bytes] = set()
+        for level in [-1, *range(self.index_db.options.max_levels)]:
+            self.levels_visited += 1
+            for ikey, payload in self.index_db.scan_level(
+                    level, low_encoded, high_encoded):
+                if ikey.user_key in shadowed:
+                    continue
+                if ikey.kind != KIND_MERGE:
+                    shadowed.add(ikey.user_key)
+                    if ikey.kind == KIND_DELETE:
+                        continue
+                self._harvest(ikey.user_key, decode_posting_list(payload),
+                              heap, state, predicate)
+            if early_termination and heap.is_full:
+                break
+        return heap.results()
+
+    # -- maintenance -------------------------------------------------------------
+
+    def flush(self) -> None:
+        self.index_db.flush()
+
+    def compact(self) -> None:
+        self.index_db.compact_range()
+
+    def size_bytes(self) -> int:
+        return self.index_db.approximate_size()
+
+    def close(self) -> None:
+        self.index_db.close()

@@ -1,0 +1,367 @@
+"""A sharded store with local or global secondary indexes.
+
+:class:`ShardedDB` runs N single-node :class:`SecondaryIndexedDB` shards
+behind a hash partitioner.  Writes are single-shard; reads route by key.
+Secondary queries depend on the index scope:
+
+* **local** — each shard indexes its own records (any of the paper's five
+  techniques); LOOKUP scatters to all shards and merges top-K;
+* **global** — a :class:`GlobalSecondaryIndex` ring partitioned by
+  attribute value; LOOKUP touches exactly one index shard, then routes
+  per-result GETs back to the data shards for validation.
+
+Recency is globally comparable because every shard draws sequence numbers
+from one :class:`SequenceOracle` (the timestamp-oracle pattern), so
+cross-shard top-K merges are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Mapping
+
+from repro.core.base import IndexKind, LookupResult
+from repro.core.database import SecondaryIndexedDB
+from repro.core.lazy import LazyIndex
+from repro.core.posting import posting_merge_operator
+from repro.core.records import (
+    Document,
+    attribute_of,
+    decode_document,
+    key_to_bytes,
+)
+from repro.dist.partitioner import HashPartitioner
+from repro.lsm.db import DB
+from repro.lsm.errors import InvalidArgumentError
+from repro.lsm.options import Options
+from repro.lsm.vfs import MemoryVFS
+from repro.lsm.zonemap import encode_attribute
+
+
+class SequenceOracle:
+    """A monotonic cross-shard sequence allocator."""
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def allocate(self, count: int) -> int:
+        """Reserve ``count`` consecutive sequence numbers; returns the first."""
+        first = self._next
+        self._next += count
+        return first
+
+    @property
+    def last_allocated(self) -> int:
+        """The highest sequence number handed out so far."""
+        return self._next - 1
+
+
+class _RoutedValidity:
+    """Duck-typed stand-in for :class:`~repro.core.validity.ValidityChecker`
+    whose data-table GETs route across shards by primary key."""
+
+    def __init__(self, fetch: Callable[[bytes], tuple[bytes, int] | None]
+                 ) -> None:
+        self._fetch = fetch
+        self.validation_gets = 0
+
+    def fetch_valid(self, key: bytes, predicate) -> tuple[Document, int] | None:
+        """Routed GET + predicate check (ValidityChecker's contract)."""
+        self.validation_gets += 1
+        found = self._fetch(key)
+        if found is None:
+            return None
+        value, seq = found
+        document = decode_document(value)
+        if not predicate(document):
+            return None
+        return document, seq
+
+
+class GlobalSecondaryIndex:
+    """DynamoDB-style GSI: one lazy index ring, partitioned by value.
+
+    Each index shard is a Lazy stand-alone index over the *whole* dataset's
+    slice of attribute values, so LOOKUP(value) resolves on a single shard.
+    Range behaviour depends on the partitioner: hash partitioning scatters
+    ranges across the whole ring (the limitation DynamoDB documents);
+    range partitioning (pass a :class:`~repro.dist.partitioner
+    .RangePartitioner`) contacts only the shards whose value intervals
+    overlap the query.
+    """
+
+    def __init__(self, attribute: str, num_index_shards: int,
+                 options: Options, checker: _RoutedValidity,
+                 partitioner=None) -> None:
+        self.attribute = attribute
+        self.partitioner = partitioner or HashPartitioner(num_index_shards)
+        if self.partitioner.num_shards != num_index_shards:
+            raise InvalidArgumentError(
+                f"partitioner covers {self.partitioner.num_shards} shards, "
+                f"expected {num_index_shards}")
+        self.checker = checker
+        index_options = replace(options, indexed_attributes=(),
+                                merge_operator=posting_merge_operator)
+        self.shards: list[LazyIndex] = []
+        for shard_id in range(num_index_shards):
+            index_db = DB.open(MemoryVFS(), f"gsi-{attribute}-{shard_id}",
+                               index_options)
+            self.shards.append(LazyIndex(attribute, index_db, checker))
+        #: Index shards touched by queries (the cross-shard fan-out metric).
+        self.shards_contacted = 0
+
+    def _shard_for(self, value: Any) -> LazyIndex:
+        return self.shards[self.partitioner.shard_of(
+            encode_attribute(value))]
+
+    # -- maintenance -----------------------------------------------------------
+
+    def on_put(self, key: bytes, document: Document, seq: int) -> None:
+        """Route the posting fragment to the value's index shard."""
+        value = attribute_of(document, self.attribute)
+        if value is None:
+            return
+        self._shard_for(value).on_put(key, document, seq)
+
+    def on_delete(self, key: bytes, old_document: Document | None,
+                  seq: int) -> None:
+        """Route a deletion marker to the *old* value's index shard."""
+        if old_document is None:
+            return
+        value = attribute_of(old_document, self.attribute)
+        if value is None:
+            return
+        self._shard_for(value).on_delete(key, old_document, seq)
+
+    # -- queries --------------------------------------------------------------
+
+    def lookup(self, value: Any, k: int | None = None,
+               early_termination: bool = True) -> list[LookupResult]:
+        """LOOKUP resolved on the single index shard owning ``value``."""
+        self.shards_contacted += 1
+        return self._shard_for(value).lookup(value, k, early_termination)
+
+    def range_lookup(self, low: Any, high: Any, k: int | None = None,
+                     early_termination: bool = True) -> list[LookupResult]:
+        """RANGELOOKUP over the index shards that can hold in-range values."""
+        shard_ids = self.partitioner.shards_overlapping(
+            encode_attribute(low), encode_attribute(high))
+        merged: list[LookupResult] = []
+        for shard_id in shard_ids:
+            self.shards_contacted += 1
+            merged.extend(self.shards[shard_id].range_lookup(
+                low, high, k, early_termination))
+        # A record updated between two in-range values leaves a stale
+        # posting on a *different* index shard; both copies validate
+        # against the live record, so deduplicate by primary key (the
+        # copies are identical results).
+        merged.sort(key=lambda r: -r.seq)
+        seen: set[str] = set()
+        deduped = []
+        for result in merged:
+            if result.key in seen:
+                continue
+            seen.add(result.key)
+            deduped.append(result)
+        return deduped if k is None else deduped[:k]
+
+    def size_bytes(self) -> int:
+        """Total bytes across the whole index ring."""
+        return sum(shard.size_bytes() for shard in self.shards)
+
+    def close(self) -> None:
+        """Close every index shard."""
+        for shard in self.shards:
+            shard.close()
+
+
+class ShardedDB:
+    """N data shards + optional global index rings behind one facade."""
+
+    def __init__(self, data_shards: list[SecondaryIndexedDB],
+                 partitioner: HashPartitioner,
+                 local_attributes: set[str],
+                 global_indexes: dict[str, GlobalSecondaryIndex],
+                 oracle: SequenceOracle) -> None:
+        """Assembled by :meth:`open_memory`."""
+        self.data_shards = data_shards
+        self.partitioner = partitioner
+        self.local_attributes = local_attributes
+        self.global_indexes = global_indexes
+        self.oracle = oracle
+        #: Data shards touched by secondary queries (scatter-gather cost).
+        self.data_shards_contacted = 0
+        self._closed = False
+
+    @classmethod
+    def open_memory(cls, num_shards: int = 4,
+                    local_indexes: Mapping[str, IndexKind] | None = None,
+                    global_indexes: tuple[str, ...] = (),
+                    options: Options | None = None,
+                    num_index_shards: int | None = None,
+                    global_split_points: Mapping[str, list] | None = None
+                    ) -> "ShardedDB":
+        """Build a cluster: ``local_indexes`` live on every data shard;
+        each attribute in ``global_indexes`` gets its own GSI ring.
+
+        ``global_split_points`` switches an attribute's GSI ring from hash
+        to range partitioning: the given attribute *values* become the
+        shard boundaries (``len(points) + 1`` index shards), letting
+        RANGELOOKUPs contact only overlapping shards.
+        """
+        from repro.dist.partitioner import RangePartitioner
+
+        local_indexes = dict(local_indexes or {})
+        global_split_points = dict(global_split_points or {})
+        overlap = set(local_indexes) & set(global_indexes)
+        if overlap:
+            raise InvalidArgumentError(
+                f"attributes indexed both locally and globally: {overlap}")
+        unknown = set(global_split_points) - set(global_indexes)
+        if unknown:
+            raise InvalidArgumentError(
+                f"split points for non-global attributes: {unknown}")
+        oracle = SequenceOracle()
+        base_options = replace(options or Options(),
+                               sequence_oracle=oracle.allocate)
+        partitioner = HashPartitioner(num_shards)
+        shards = [
+            SecondaryIndexedDB.open_memory(
+                indexes=local_indexes, options=base_options,
+                name=f"shard-{shard_id}")
+            for shard_id in range(num_shards)]
+        cluster = cls(shards, partitioner, set(local_indexes), {}, oracle)
+        checker = _RoutedValidity(cluster._routed_get_with_seq)
+        for attribute in global_indexes:
+            if attribute in global_split_points:
+                splits = [encode_attribute(value)
+                          for value in global_split_points[attribute]]
+                index_partitioner = RangePartitioner(splits)
+                ring_size = index_partitioner.num_shards
+            else:
+                index_partitioner = None
+                ring_size = num_index_shards or num_shards
+            cluster.global_indexes[attribute] = GlobalSecondaryIndex(
+                attribute, ring_size, base_options, checker,
+                partitioner=index_partitioner)
+        return cluster
+
+    # -- routing ---------------------------------------------------------------
+
+    def _shard_for(self, key: bytes) -> SecondaryIndexedDB:
+        return self.data_shards[self.partitioner.shard_of(key)]
+
+    def _routed_get_with_seq(self, key: bytes) -> tuple[bytes, int] | None:
+        self.data_shards_contacted += 1
+        return self._shard_for(key).primary.get_with_seq(key)
+
+    # -- base operations ---------------------------------------------------------
+
+    def put(self, key: str | bytes, document: Document) -> int:
+        """Write to the owning data shard, then maintain every GSI."""
+        self._check_open()
+        key_bytes = key_to_bytes(key)
+        shard = self._shard_for(key_bytes)
+        seq = shard.put(key_bytes, document)
+        for index in self.global_indexes.values():
+            index.on_put(key_bytes, document, seq)
+        return seq
+
+    def get(self, key: str | bytes) -> Document | None:
+        """Point read, routed by primary key."""
+        self._check_open()
+        return self._shard_for(key_to_bytes(key)).get(key)
+
+    def delete(self, key: str | bytes) -> None:
+        """Delete from the owning shard; GSIs get deletion markers."""
+        self._check_open()
+        key_bytes = key_to_bytes(key)
+        shard = self._shard_for(key_bytes)
+        old_document = None
+        if self.global_indexes:
+            old_document = shard.get(key_bytes)
+        shard.delete(key_bytes)
+        seq = shard.primary.versions.last_sequence
+        for index in self.global_indexes.values():
+            index.on_delete(key_bytes, old_document, seq)
+
+    # -- secondary queries ---------------------------------------------------------
+
+    def lookup(self, attribute: str, value: Any, k: int | None = None,
+               early_termination: bool = True) -> list[LookupResult]:
+        """LOOKUP: one GSI shard (global) or all-shard scatter (local)."""
+        self._check_open()
+        if attribute in self.global_indexes:
+            return self.global_indexes[attribute].lookup(
+                value, k, early_termination)
+        if attribute not in self.local_attributes:
+            raise InvalidArgumentError(
+                f"no index on attribute {attribute!r}")
+        return self._scatter_gather(
+            lambda shard: shard.lookup(attribute, value, k,
+                                       early_termination), k)
+
+    def range_lookup(self, attribute: str, low: Any, high: Any,
+                     k: int | None = None,
+                     early_termination: bool = True) -> list[LookupResult]:
+        """RANGELOOKUP, routed or scattered per the attribute's scope."""
+        self._check_open()
+        if attribute in self.global_indexes:
+            return self.global_indexes[attribute].range_lookup(
+                low, high, k, early_termination)
+        if attribute not in self.local_attributes:
+            raise InvalidArgumentError(
+                f"no index on attribute {attribute!r}")
+        return self._scatter_gather(
+            lambda shard: shard.range_lookup(attribute, low, high, k,
+                                             early_termination), k)
+
+    def _scatter_gather(self, query, k: int | None) -> list[LookupResult]:
+        """Local indexes: ask every shard for its top-K, merge exactly.
+
+        Per-shard results are each correct top-K lists under globally
+        comparable sequence numbers, so the merged prefix is the global
+        top-K.
+        """
+        merged: list[LookupResult] = []
+        for shard in self.data_shards:
+            self.data_shards_contacted += 1
+            merged.extend(query(shard))
+        merged.sort(key=lambda r: -r.seq)
+        return merged if k is None else merged[:k]
+
+    # -- introspection -------------------------------------------------------------
+
+    def total_size(self) -> int:
+        """Bytes across all data shards and global index rings."""
+        total = sum(shard.total_size() for shard in self.data_shards)
+        total += sum(index.size_bytes()
+                     for index in self.global_indexes.values())
+        return total
+
+    def shard_record_counts(self) -> list[int]:
+        """Live records per shard (balance check)."""
+        return [sum(1 for _ in shard.primary.scan())
+                for shard in self.data_shards]
+
+    def close(self) -> None:
+        """Close every data shard and GSI ring (idempotent)."""
+        if self._closed:
+            return
+        for shard in self.data_shards:
+            shard.close()
+        for index in self.global_indexes.values():
+            index.close()
+        self._closed = True
+
+    def __enter__(self) -> "ShardedDB":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            from repro.lsm.errors import DBClosedError
+
+            raise DBClosedError("cluster is closed")

@@ -1,0 +1,68 @@
+"""Partitioners: deciding which shard owns a key.
+
+*Hash* partitioning (stable blake2b modulo a fixed shard count) is what
+the paper's referenced systems use for primary keys (DynamoDB, Riak,
+Cassandra) and for global-index partition keys (DynamoDB GSIs) — perfect
+balance, but value ranges scatter across every shard.
+
+*Range* partitioning (HBase/Spanner style: sorted split points) keeps
+adjacent values on the same shard, so a global index partitioned by range
+can answer RANGELOOKUPs from only the overlapping shards — at the price
+of hand-chosen (or rebalanced) boundaries and skew exposure.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+class HashPartitioner:
+    """Stable hash partitioning of byte keys over ``num_shards`` shards."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    def shard_of(self, key: bytes) -> int:
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self.num_shards
+
+    def shards_overlapping(self, low: bytes, high: bytes) -> list[int]:
+        """Hashing scatters ranges: every shard may hold in-range keys."""
+        return list(range(self.num_shards))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashPartitioner(num_shards={self.num_shards})"
+
+
+class RangePartitioner:
+    """Split-point partitioning: shard *i* owns ``[splits[i-1], splits[i])``.
+
+    ``split_points`` must be sorted encoded byte keys; ``len(splits) + 1``
+    shards result.  Keys below the first split go to shard 0, keys at or
+    above the last to the final shard.
+    """
+
+    def __init__(self, split_points: list[bytes]) -> None:
+        if sorted(split_points) != list(split_points):
+            raise ValueError("split points must be sorted")
+        if len(set(split_points)) != len(split_points):
+            raise ValueError("split points must be distinct")
+        self.split_points = list(split_points)
+        self.num_shards = len(split_points) + 1
+
+    def shard_of(self, key: bytes) -> int:
+        return bisect.bisect_right(self.split_points, key)
+
+    def shards_overlapping(self, low: bytes, high: bytes) -> list[int]:
+        """Only the shards whose intervals intersect ``[low, high]``."""
+        if low > high:
+            return []
+        first = self.shard_of(low)
+        last = self.shard_of(high)
+        return list(range(first, last + 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RangePartitioner(num_shards={self.num_shards})"

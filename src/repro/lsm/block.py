@@ -1,0 +1,174 @@
+"""SSTable data blocks: prefix-compressed sorted runs of entries.
+
+The format is LevelDB's.  Each entry stores the length of the prefix it
+shares with the previous key, the remaining key bytes, and the value::
+
+    shared (varint) | non_shared (varint) | value_len (varint)
+    key_delta (non_shared bytes) | value (value_len bytes)
+
+Every ``restart_interval`` entries the full key is written and its offset is
+appended to the *restart array* at the block's tail, enabling binary search::
+
+    restart[0] .. restart[n-1] (uint32 LE each) | num_restarts (uint32 LE)
+
+Keys are encoded internal keys; ordering uses the internal-key comparator
+(user key ascending, sequence number descending).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.lsm.errors import CorruptionError
+from repro.lsm.keys import (
+    decode_varint,
+    encode_varint,
+    internal_sort_key,
+)
+
+_U32 = struct.Struct("<I")
+DEFAULT_RESTART_INTERVAL = 16
+
+
+class BlockBuilder:
+    """Accumulates sorted ``(internal_key, value)`` pairs into a block."""
+
+    def __init__(self, restart_interval: int = DEFAULT_RESTART_INTERVAL) -> None:
+        if restart_interval < 1:
+            raise ValueError("restart_interval must be >= 1")
+        self.restart_interval = restart_interval
+        self._buffer = bytearray()
+        self._restarts: list[int] = [0]
+        self._counter = 0
+        self._last_key = b""
+        self._num_entries = 0
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    @property
+    def is_empty(self) -> bool:
+        return self._num_entries == 0
+
+    def current_size_estimate(self) -> int:
+        return len(self._buffer) + 4 * len(self._restarts) + 4
+
+    def add(self, key: bytes, value: bytes) -> None:
+        """Append an entry.  Keys must arrive in strictly increasing order."""
+        if self._num_entries and internal_sort_key(key) <= internal_sort_key(self._last_key):
+            raise ValueError("block keys must be added in increasing order")
+        if self._counter < self.restart_interval:
+            shared = _shared_prefix_length(self._last_key, key)
+        else:
+            shared = 0
+            self._restarts.append(len(self._buffer))
+            self._counter = 0
+        non_shared = len(key) - shared
+        self._buffer += encode_varint(shared)
+        self._buffer += encode_varint(non_shared)
+        self._buffer += encode_varint(len(value))
+        self._buffer += key[shared:]
+        self._buffer += value
+        self._last_key = key
+        self._counter += 1
+        self._num_entries += 1
+
+    def finish(self) -> bytes:
+        out = bytes(self._buffer)
+        tail = bytearray()
+        for restart in self._restarts:
+            tail += _U32.pack(restart)
+        tail += _U32.pack(len(self._restarts))
+        return out + bytes(tail)
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self._restarts = [0]
+        self._counter = 0
+        self._last_key = b""
+        self._num_entries = 0
+
+
+def _shared_prefix_length(a: bytes, b: bytes) -> int:
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class Block:
+    """Read-side view of a finished block."""
+
+    def __init__(self, data: bytes) -> None:
+        if len(data) < 4:
+            raise CorruptionError("block too small for restart count")
+        self._data = data
+        num_restarts = _U32.unpack_from(data, len(data) - 4)[0]
+        restart_end = len(data) - 4
+        restart_start = restart_end - 4 * num_restarts
+        if restart_start < 0:
+            raise CorruptionError("restart array overflows block")
+        self._restarts = [
+            _U32.unpack_from(data, restart_start + 4 * i)[0]
+            for i in range(num_restarts)
+        ]
+        self._entries_end = restart_start
+
+    def _decode_entry(self, offset: int,
+                      previous_key: bytes) -> tuple[bytes, bytes, int]:
+        """Decode one entry; returns ``(key, value, next_offset)``."""
+        try:
+            shared, pos = decode_varint(self._data, offset)
+            non_shared, pos = decode_varint(self._data, pos)
+            value_len, pos = decode_varint(self._data, pos)
+        except ValueError as exc:
+            raise CorruptionError(f"bad block entry header: {exc}") from exc
+        if shared > len(previous_key):
+            raise CorruptionError("block entry shares more than previous key")
+        key_end = pos + non_shared
+        value_end = key_end + value_len
+        if value_end > self._entries_end:
+            raise CorruptionError("block entry overflows entry region")
+        key = previous_key[:shared] + self._data[pos:key_end]
+        value = bytes(self._data[key_end:value_end])
+        return key, value, value_end
+
+    def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
+        offset = 0
+        key = b""
+        while offset < self._entries_end:
+            key, value, offset = self._decode_entry(offset, key)
+            yield key, value
+
+    def _restart_key(self, index: int) -> bytes:
+        key, _value, _next = self._decode_entry(self._restarts[index], b"")
+        return key
+
+    def seek(self, target: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate entries with internal key >= ``target``.
+
+        Binary-searches the restart array for the last restart whose key is
+        < ``target``, then scans forward, exactly like LevelDB's block
+        iterator.
+        """
+        target_sort = internal_sort_key(target)
+        lo, hi = 0, len(self._restarts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if internal_sort_key(self._restart_key(mid)) < target_sort:
+                lo = mid
+            else:
+                hi = mid - 1
+        offset = self._restarts[lo]
+        key = b""
+        while offset < self._entries_end:
+            key, value, offset = self._decode_entry(offset, key)
+            if internal_sort_key(key) >= target_sort:
+                yield key, value
+                break
+        while offset < self._entries_end:
+            key, value, offset = self._decode_entry(offset, key)
+            yield key, value

@@ -1,0 +1,365 @@
+"""Leveled compaction, LevelDB-style.
+
+* A MemTable flush writes one SSTable into level 0; level-0 files may
+  overlap each other.
+* When level 0 accumulates ``l0_compaction_trigger`` files, or level *i*'s
+  total size exceeds its budget, the level is merged into level *i+1*.
+* Within a level, the file to compact is chosen **round-robin by key range**
+  (the ``compact_pointer`` of LevelDB), which is exactly the behaviour the
+  paper leans on when discussing the Composite index's loss of time order
+  ("a compaction in a level takes place as round-robin basis").
+
+During the merge, obsolete versions are dropped, tombstones are elided once
+they reach the bottom-most level that could contain their key, and — the
+hook the Lazy index relies on — runs of ``KIND_MERGE`` operands for the
+same key are folded through the configured merge operator ("the old
+postings list ... is merged later, during the periodic compaction phase").
+
+Live snapshots suppress folding and dropping conservatively: correctness
+first, space later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lsm.errors import InvalidArgumentError
+from repro.lsm.iterator import merge_streams
+from repro.lsm.keys import (
+    KIND_DELETE,
+    KIND_MERGE,
+    KIND_VALUE,
+    InternalKey,
+    MAX_SEQUENCE,
+    pack_internal_key,
+)
+from repro.lsm.manifest import table_file_name
+from repro.lsm.sstable import TableBuilder
+from repro.lsm.vfs import Category
+from repro.lsm.version import FileMetaData, Version, VersionEdit, VersionSet
+
+
+@dataclass
+class Compaction:
+    """A unit of compaction work: inputs at two adjacent levels."""
+
+    level: int
+    inputs0: list[FileMetaData]
+    inputs1: list[FileMetaData]
+
+    @property
+    def output_level(self) -> int:
+        return self.level + 1
+
+    def input_files(self) -> list[tuple[int, FileMetaData]]:
+        return ([(self.level, meta) for meta in self.inputs0]
+                + [(self.output_level, meta) for meta in self.inputs1])
+
+    def total_input_bytes(self) -> int:
+        return sum(meta.file_size for _lvl, meta in self.input_files())
+
+
+def pick_compaction(versions: VersionSet) -> Compaction | None:
+    """Choose what to compact next, or ``None`` if nothing is due."""
+    version = versions.current
+    score, level = version.compaction_score()
+    if score < 1.0:
+        return None
+    if level >= versions.options.max_levels - 1:
+        return None
+
+    if versions.options.compaction_style == "full_level":
+        # AsterixDB-style: the whole level merges into the whole next level.
+        inputs0 = list(version.levels[level])
+        if not inputs0:
+            return None
+        inputs1 = list(version.levels[level + 1])
+        return Compaction(level, inputs0, inputs1)
+
+    if level == 0:
+        inputs0 = list(version.levels[0])
+        if not inputs0:
+            return None
+        lo = min(meta.smallest_user_key for meta in inputs0)
+        hi = max(meta.largest_user_key for meta in inputs0)
+        inputs0 = version.overlapping_files(0, lo, hi)
+    else:
+        inputs0 = [_round_robin_file(versions, level)]
+
+    lo = min(meta.smallest_user_key for meta in inputs0)
+    hi = max(meta.largest_user_key for meta in inputs0)
+    inputs1 = versions.current.overlapping_files(level + 1, lo, hi)
+    return Compaction(level, inputs0, inputs1)
+
+
+def _round_robin_file(versions: VersionSet, level: int) -> FileMetaData:
+    """LevelDB's compact-pointer choice: first file past the last compacted key."""
+    files = versions.current.levels[level]
+    pointer = versions.compact_pointers[level]
+    if pointer is not None:
+        for meta in files:
+            if meta.largest > pointer:
+                return meta
+    return files[0]
+
+
+@dataclass
+class CompactionStats:
+    """Aggregate counters, surfaced via :attr:`repro.lsm.db.DB.stats`."""
+
+    flush_count: int = 0
+    compaction_count: int = 0
+    bytes_flushed: int = 0
+    bytes_compacted_in: int = 0
+    bytes_compacted_out: int = 0
+    entries_dropped: int = 0
+    merges_folded: int = 0
+    compactions_by_level: dict[int, int] = field(default_factory=dict)
+
+
+class Compactor:
+    """Executes flushes and compactions for one DB instance.
+
+    The collaborator protocol (rather than importing ``DB``) keeps this
+    module independently testable: it needs a VFS, options, the version
+    set, a table cache, a way to log version edits, and the oldest live
+    snapshot sequence number.
+    """
+
+    def __init__(self, vfs, db_name: str, options, versions: VersionSet,
+                 table_cache, log_and_apply, oldest_snapshot_seq) -> None:
+        self.vfs = vfs
+        self.db_name = db_name
+        self.options = options
+        self.versions = versions
+        self.table_cache = table_cache
+        self._log_and_apply = log_and_apply
+        self._oldest_snapshot_seq = oldest_snapshot_seq
+        self.stats = CompactionStats()
+
+    # -- flush ----------------------------------------------------------------
+
+    def flush_memtable(self, memtable) -> FileMetaData | None:
+        """Write the MemTable's contents as one new level-0 SSTable."""
+        if memtable.is_empty():
+            return None
+        file_number = self.versions.new_file_number()
+        name = table_file_name(self.db_name, file_number)
+        out = self.vfs.create(name)
+        from repro.lsm.compression import compressor_for
+
+        builder = TableBuilder(self.options, out,
+                               compressor_for(self.options.compression),
+                               Category.FLUSH)
+        for entry in memtable:
+            key = pack_internal_key(entry.user_key, entry.seq, entry.kind)
+            builder.add(key, entry.value)
+        props = builder.finish()
+        out.close()
+        meta = FileMetaData(
+            file_number=file_number,
+            file_size=props.file_size,
+            smallest=props.smallest,
+            largest=props.largest,
+            min_seq=props.min_seq,
+            max_seq=props.max_seq,
+            num_entries=props.num_entries,
+            secondary_zonemaps=props.secondary_zonemaps,
+        )
+        edit = VersionEdit()
+        edit.add_file(0, meta)
+        self._log_and_apply(edit)
+        self.stats.flush_count += 1
+        self.stats.bytes_flushed += props.file_size
+        return meta
+
+    # -- compaction -------------------------------------------------------------
+
+    def maybe_compact(self) -> int:
+        """Run compactions until no level is over budget; returns the count."""
+        ran = 0
+        while True:
+            compaction = pick_compaction(self.versions)
+            if compaction is None:
+                return ran
+            self.run(compaction)
+            ran += 1
+
+    def run(self, compaction: Compaction) -> list[FileMetaData]:
+        """Merge the input files into new files at the output level."""
+        oldest_snapshot = self._oldest_snapshot_seq()
+        base_version = self.versions.current
+        streams = []
+        for _level, meta in compaction.input_files():
+            table = self.table_cache.get(meta.file_number)
+            streams.append(_table_stream(table))
+        merged = merge_streams(streams)
+
+        outputs: list[FileMetaData] = []
+        writer = _OutputWriter(self, compaction.output_level, outputs)
+        for user_key, group in _group_by_user_key(merged):
+            kept = self._process_group(
+                user_key, group, oldest_snapshot, compaction, base_version)
+            for ikey, value in kept:
+                writer.add(ikey, value)
+        writer.finish()
+
+        edit = VersionEdit()
+        for level, meta in compaction.input_files():
+            edit.delete_file(level, meta.file_number)
+        for meta in outputs:
+            edit.add_file(compaction.output_level, meta)
+        if compaction.inputs0:
+            pointer = max(meta.largest for meta in compaction.inputs0)
+            edit.compact_pointers.append((compaction.level, pointer))
+        self._log_and_apply(edit)
+
+        for _level, meta in compaction.input_files():
+            self.table_cache.evict(meta.file_number)
+            self.vfs.delete(table_file_name(self.db_name, meta.file_number))
+
+        self.stats.compaction_count += 1
+        level_key = compaction.level
+        self.stats.compactions_by_level[level_key] = (
+            self.stats.compactions_by_level.get(level_key, 0) + 1)
+        self.stats.bytes_compacted_in += compaction.total_input_bytes()
+        self.stats.bytes_compacted_out += sum(m.file_size for m in outputs)
+        return outputs
+
+    def _process_group(self, user_key: bytes,
+                       group: list[tuple[InternalKey, bytes]],
+                       oldest_snapshot: int, compaction: Compaction,
+                       base_version: Version) -> list[tuple[InternalKey, bytes]]:
+        """Decide which versions of one user key survive the merge."""
+        kept: list[tuple[InternalKey, bytes]] = []
+        for ikey, value in group:
+            kept.append((ikey, value))
+            # A non-merge entry visible to every snapshot shadows all older
+            # versions; merge operands never shadow (they need their base).
+            if ikey.kind != KIND_MERGE and ikey.seq <= oldest_snapshot:
+                break
+        self.stats.entries_dropped += len(group) - len(kept)
+
+        if oldest_snapshot != MAX_SEQUENCE:
+            # Live snapshots: be conservative — no folding, no elision.
+            return kept
+
+        is_base = self._is_base_level(user_key, compaction, base_version)
+        operands = [value for ikey, value in kept if ikey.kind == KIND_MERGE]
+        if operands:
+            base_entry = kept[-1] if kept[-1][0].kind != KIND_MERGE else None
+            newest_seq = kept[0][0].seq
+            folded = self._fold(user_key, operands, base_entry)
+            self.stats.merges_folded += len(operands)
+            if base_entry is not None or is_base:
+                # A base was present in the inputs (or cannot exist deeper):
+                # the fold is a full merge and becomes a plain value.
+                kept = [(InternalKey(user_key, newest_seq, KIND_VALUE), folded)]
+            else:
+                # No base in sight and deeper levels may hold one: emit a
+                # single combined operand (partial merge — requires the
+                # operator to be associative, which posting-list union is).
+                kept = [(InternalKey(user_key, newest_seq, KIND_MERGE), folded)]
+        if (len(kept) == 1 and kept[0][0].kind == KIND_DELETE and is_base):
+            self.stats.entries_dropped += 1
+            return []
+        return kept
+
+    def _fold(self, user_key: bytes, operands_newest_first: list[bytes],
+              base_entry: tuple[InternalKey, bytes] | None) -> bytes | None:
+        operator = self.options.merge_operator
+        if operator is None:
+            raise InvalidArgumentError(
+                "merge entries present but no merge_operator configured")
+        oldest_first = list(reversed(operands_newest_first))
+        if base_entry is not None and base_entry[0].kind == KIND_VALUE:
+            oldest_first.insert(0, base_entry[1])
+        return operator(user_key, oldest_first)
+
+    def _is_base_level(self, user_key: bytes, compaction: Compaction,
+                       base_version: Version) -> bool:
+        """No level deeper than the output could contain ``user_key``."""
+        for level in range(compaction.output_level + 1,
+                           self.options.max_levels):
+            if base_version.files_containing_key(level, user_key):
+                return False
+        return True
+
+
+def _table_stream(table):
+    """Entry stream over a whole table, charged as compaction I/O."""
+    for block_index in range(table.num_data_blocks):
+        block = table.read_data_block(block_index, Category.COMPACTION)
+        from repro.lsm.keys import unpack_internal_key
+
+        for ikey_bytes, value in block:
+            yield unpack_internal_key(ikey_bytes), value
+
+
+def _group_by_user_key(merged):
+    """Group a merged entry stream into per-user-key lists (newest first)."""
+    current_key: bytes | None = None
+    group: list[tuple[InternalKey, bytes]] = []
+    for ikey, value in merged:
+        if ikey.user_key != current_key:
+            if group:
+                yield current_key, group
+            current_key = ikey.user_key
+            group = []
+        group.append((ikey, value))
+    if group:
+        yield current_key, group
+
+
+class _OutputWriter:
+    """Cuts compaction output into files of ``sstable_target_size``."""
+
+    def __init__(self, compactor: Compactor, output_level: int,
+                 outputs: list[FileMetaData]) -> None:
+        self.compactor = compactor
+        self.output_level = output_level
+        self.outputs = outputs
+        self._builder: TableBuilder | None = None
+        self._out = None
+        self._file_number = 0
+
+    def add(self, ikey: InternalKey, value: bytes) -> None:
+        if self._builder is None:
+            self._open()
+        assert self._builder is not None
+        self._builder.add(ikey.encode(), value)
+        if self._builder.estimated_file_size >= \
+                self.compactor.options.sstable_target_size:
+            self._close()
+
+    def _open(self) -> None:
+        from repro.lsm.compression import compressor_for
+
+        self._file_number = self.compactor.versions.new_file_number()
+        name = table_file_name(self.compactor.db_name, self._file_number)
+        self._out = self.compactor.vfs.create(name)
+        self._builder = TableBuilder(
+            self.compactor.options, self._out,
+            compressor_for(self.compactor.options.compression),
+            Category.COMPACTION)
+
+    def _close(self) -> None:
+        if self._builder is None:
+            return
+        props = self._builder.finish()
+        self._out.close()
+        self.outputs.append(FileMetaData(
+            file_number=self._file_number,
+            file_size=props.file_size,
+            smallest=props.smallest,
+            largest=props.largest,
+            min_seq=props.min_seq,
+            max_seq=props.max_seq,
+            num_entries=props.num_entries,
+            secondary_zonemaps=props.secondary_zonemaps,
+        ))
+        self._builder = None
+        self._out = None
+
+    def finish(self) -> None:
+        self._close()

@@ -1,0 +1,67 @@
+"""Per-block compression.
+
+The paper uses LevelDB's default, Snappy, and measures its effect in
+Appendix C.2.  Snappy bindings are unavailable offline, so zlib at level 1
+(the stdlib's fastest setting, similar design point: cheap, modest ratio)
+stands in behind the same one-byte block-type tag that LevelDB writes after
+each block.  A block whose compressed form is not smaller is stored raw,
+exactly as LevelDB does.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+#: Block trailer type tags (mirroring LevelDB's kNoCompression / kSnappy).
+TYPE_NONE = 0
+TYPE_ZLIB = 1
+
+
+class Compressor:
+    """Strategy interface for per-block compression."""
+
+    name = "abstract"
+
+    def compress(self, data: bytes) -> tuple[bytes, int]:
+        """Return ``(payload, type_tag)`` for a block about to be written."""
+        raise NotImplementedError
+
+
+class NoCompression(Compressor):
+    name = "none"
+
+    def compress(self, data: bytes) -> tuple[bytes, int]:
+        return data, TYPE_NONE
+
+
+class ZlibCompression(Compressor):
+    """zlib level-1; falls back to raw storage when it does not help."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 1) -> None:
+        self.level = level
+
+    def compress(self, data: bytes) -> tuple[bytes, int]:
+        packed = zlib.compress(data, self.level)
+        if len(packed) < len(data):
+            return packed, TYPE_ZLIB
+        return data, TYPE_NONE
+
+
+def decompress(payload: bytes, type_tag: int) -> bytes:
+    """Undo :meth:`Compressor.compress` given the stored type tag."""
+    if type_tag == TYPE_NONE:
+        return payload
+    if type_tag == TYPE_ZLIB:
+        return zlib.decompress(payload)
+    raise ValueError(f"unknown block compression type: {type_tag}")
+
+
+def compressor_for(name: str) -> Compressor:
+    """Factory keyed by :attr:`repro.lsm.options.Options.compression`."""
+    if name == "none":
+        return NoCompression()
+    if name == "zlib":
+        return ZlibCompression()
+    raise ValueError(f"unknown compression: {name!r}")

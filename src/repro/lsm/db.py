@@ -1,0 +1,699 @@
+"""The database: LevelDB's public surface, plus the probes LevelDB++ needs.
+
+:class:`DB` wires together the MemTable, WAL, SSTables, versioned manifest
+and compactor into a single-node key-value store with the three base
+operations of the paper's Table 1 — ``PUT(k, v)``, ``GET(k)``, ``DEL(k)`` —
+plus:
+
+* ``merge(k, operand)``: RocksDB-style merge writes, the mechanism behind
+  the Lazy index's append-only posting-list updates;
+* ``scan(lo, hi)``: user-visible range iteration (the "range query API on
+  primary key" the Eager index uses for RANGELOOKUP);
+* ``scan_level`` / ``fragments_by_level``: raw per-level access, which the
+  Lazy and Composite indexes need for level-at-a-time traversal;
+* ``key_maybe_in_levels``: the in-memory presence probe behind the
+  Embedded index's GetLite validity check.
+
+Writes are synchronous and single-threaded (the paper chose LevelDB for
+exactly this property, to isolate index costs); a MemTable flush and any
+due compactions run inline in the writing call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.lsm.compaction import Compaction, Compactor
+from repro.lsm.errors import DBClosedError, InvalidArgumentError
+from repro.lsm.iterator import (
+    clip_to_range,
+    merge_streams,
+    resolve_versions,
+)
+from repro.lsm.keys import (
+    KIND_DELETE,
+    KIND_FOR_SEEK,
+    KIND_MERGE,
+    KIND_VALUE,
+    InternalKey,
+    MAX_SEQUENCE,
+    decode_length_prefixed,
+    decode_varint,
+    encode_length_prefixed,
+    encode_varint,
+    pack_internal_key,
+)
+from repro.lsm.manifest import (
+    ManifestWriter,
+    log_file_name,
+    recover_version_set,
+)
+from repro.lsm.memtable import MemTable
+from repro.lsm.options import Options
+from repro.lsm.tablecache import TableCache
+from repro.lsm.vfs import Category, MemoryVFS, VFS
+from repro.lsm.version import VersionEdit, VersionSet
+from repro.lsm.wal import LogReader, LogWriter
+
+FlushListener = Callable[[int], None]
+
+
+class WriteBatch:
+    """An atomic group of writes, applied under consecutive sequence numbers."""
+
+    def __init__(self) -> None:
+        self.ops: list[tuple[int, bytes, bytes]] = []
+
+    def put(self, key: bytes, value: bytes) -> "WriteBatch":
+        self.ops.append((KIND_VALUE, key, value))
+        return self
+
+    def delete(self, key: bytes) -> "WriteBatch":
+        self.ops.append((KIND_DELETE, key, b""))
+        return self
+
+    def merge(self, key: bytes, operand: bytes) -> "WriteBatch":
+        self.ops.append((KIND_MERGE, key, operand))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def encode(self, start_seq: int) -> bytes:
+        out = bytearray(encode_varint(start_seq))
+        out += encode_varint(len(self.ops))
+        for kind, key, value in self.ops:
+            out.append(kind)
+            out += encode_length_prefixed(key)
+            out += encode_length_prefixed(value)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> tuple["WriteBatch", int]:
+        start_seq, pos = decode_varint(payload, 0)
+        count, pos = decode_varint(payload, pos)
+        batch = cls()
+        for _ in range(count):
+            kind = payload[pos]
+            pos += 1
+            key, pos = decode_length_prefixed(payload, pos)
+            value, pos = decode_length_prefixed(payload, pos)
+            batch.ops.append((kind, key, value))
+        return batch, start_seq
+
+
+class Snapshot:
+    """A consistent read point (all writes with ``seq <= self.seq``)."""
+
+    def __init__(self, db: "DB", seq: int) -> None:
+        self._db = db
+        self.seq = seq
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._db._release_snapshot(self)
+            self._released = True
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class DB:
+    """A LevelDB-style LSM key-value store over a metered VFS."""
+
+    def __init__(self, vfs: VFS, name: str, options: Options) -> None:
+        """Use :meth:`open` / :meth:`open_memory` instead of direct construction."""
+        self.vfs = vfs
+        self.name = name
+        self.options = options
+        self.versions = VersionSet(options)
+        self.table_cache = TableCache(vfs, name, options)
+        self.memtable = MemTable()
+        self._manifest: ManifestWriter | None = None
+        self._log: LogWriter | None = None
+        self._log_number = 0
+        self._closed = False
+        self._snapshots: list[Snapshot] = []
+        self._flush_listeners: list[FlushListener] = []
+        self.compactor = Compactor(
+            vfs, name, options, self.versions, self.table_cache,
+            self._log_and_apply, self._oldest_snapshot_seq)
+        self._recover()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def open(cls, vfs: VFS, name: str = "db",
+             options: Options | None = None) -> "DB":
+        """Open (creating if necessary) the database ``name`` on ``vfs``."""
+        return cls(vfs, name, options or Options())
+
+    @classmethod
+    def open_memory(cls, options: Options | None = None,
+                    name: str = "db") -> "DB":
+        """Open a fresh database on a private in-memory VFS."""
+        return cls(MemoryVFS(), name, options or Options())
+
+    def _recover(self) -> None:
+        existed = recover_version_set(self.vfs, self.name, self.versions)
+        if existed:
+            self._replay_logs()
+        new_manifest_number = self.versions.new_file_number()
+        self._manifest = ManifestWriter(self.vfs, self.name,
+                                        new_manifest_number)
+        self._log_number = self.versions.new_file_number()
+        edit = VersionEdit(
+            log_number=self._log_number,
+            next_file_number=self.versions.next_file_number,
+            last_sequence=self.versions.last_sequence)
+        # Re-log the full current state into the fresh manifest so it is
+        # self-contained (LevelDB writes a similar "snapshot" record).
+        for level, meta in self.versions.current.all_files():
+            edit.add_file(level, meta)
+        for level, pointer in enumerate(self.versions.compact_pointers):
+            if pointer is not None:
+                edit.compact_pointers.append((level, pointer))
+        self.versions.log_number = self._log_number
+        self._manifest.log_edit(edit)
+        self._manifest.install_as_current()
+        self._log = LogWriter(
+            self.vfs.create(log_file_name(self.name, self._log_number)),
+            sync=self.options.sync_writes)
+        self._delete_obsolete_files()
+
+    def _replay_logs(self) -> None:
+        log_names = [name for name in self.vfs.list_dir(self.name + "/")
+                     if name.endswith(".log")]
+        for name in sorted(log_names):
+            number = int(name.rsplit("/", 1)[-1].split(".")[0])
+            if number < self.versions.log_number:
+                continue
+            reader = LogReader(self.vfs.open_random(name))
+            for payload in reader:
+                batch, start_seq = WriteBatch.decode(payload)
+                for offset, (kind, key, value) in enumerate(batch.ops):
+                    self.memtable.add(start_seq + offset, kind, key, value)
+                self.versions.last_sequence = max(
+                    self.versions.last_sequence,
+                    start_seq + len(batch.ops) - 1)
+
+    def _delete_obsolete_files(self) -> None:
+        live = self.versions.live_file_numbers()
+        for name in self.vfs.list_dir(self.name + "/"):
+            base = name.rsplit("/", 1)[-1]
+            if base.endswith(".ldb"):
+                number = int(base.split(".")[0])
+                if number not in live:
+                    self.table_cache.evict(number)
+                    self.vfs.delete(name)
+            elif base.endswith(".log"):
+                number = int(base.split(".")[0])
+                if number < self._log_number:
+                    self.vfs.delete(name)
+            elif base.startswith("MANIFEST-"):
+                assert self._manifest is not None
+                if int(base.split("-")[1]) != self._manifest.number:
+                    self.vfs.delete(name)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._log is not None:
+            self._log.close()
+        if self._manifest is not None:
+            self._manifest.close()
+        self.table_cache.close()
+        self._closed = True
+
+    def __enter__(self) -> "DB":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DBClosedError("database is closed")
+
+    # -- writes -----------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key`` (Table 1's PUT)."""
+        self.write(WriteBatch().put(key, value))
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key`` if present (Table 1's DEL): writes a tombstone."""
+        self.write(WriteBatch().delete(key))
+
+    def merge(self, key: bytes, operand: bytes) -> None:
+        """Append a merge operand; requires ``options.merge_operator``."""
+        if self.options.merge_operator is None:
+            raise InvalidArgumentError(
+                "DB.merge requires options.merge_operator")
+        self.write(WriteBatch().merge(key, operand))
+
+    def write(self, batch: WriteBatch) -> int:
+        """Apply ``batch`` atomically; returns the last assigned sequence.
+
+        Raises :class:`~repro.lsm.errors.WriteStallError` when level 0 has
+        reached ``l0_stop_writes_trigger`` files — only reachable with
+        ``disable_auto_compaction``, since inline compaction otherwise
+        drains level 0 as it fills.
+        """
+        self._check_open()
+        if not batch.ops:
+            return self.versions.last_sequence
+        if self.versions.current.num_files(0) >= \
+                self.options.l0_stop_writes_trigger:
+            from repro.lsm.errors import WriteStallError
+
+            raise WriteStallError(
+                f"level 0 holds {self.versions.current.num_files(0)} files "
+                f"(stop trigger {self.options.l0_stop_writes_trigger}); "
+                f"run compact_range() or enable auto compaction")
+        if self.options.sequence_oracle is not None:
+            start_seq = self.options.sequence_oracle(len(batch.ops))
+            if start_seq <= self.versions.last_sequence:
+                raise InvalidArgumentError(
+                    f"sequence oracle went backwards: {start_seq} <= "
+                    f"{self.versions.last_sequence}")
+        else:
+            start_seq = self.versions.last_sequence + 1
+        assert self._log is not None
+        self._log.add_record(batch.encode(start_seq))
+        for offset, (kind, key, value) in enumerate(batch.ops):
+            self.memtable.add(start_seq + offset, kind, key, value)
+        self.versions.last_sequence = start_seq + len(batch.ops) - 1
+        self._maybe_flush()
+        return self.versions.last_sequence
+
+    def _maybe_flush(self) -> None:
+        if self.memtable.approximate_memory_usage \
+                < self.options.memtable_budget:
+            return
+        self.flush()
+
+    def flush(self) -> None:
+        """Flush the MemTable to a level-0 SSTable and run due compactions."""
+        self._check_open()
+        if self.memtable.is_empty():
+            return
+        flushed_max_seq = self.memtable.max_seq or 0
+        self.compactor.flush_memtable(self.memtable)
+        self.memtable = MemTable()
+        old_log_number = self._log_number
+        assert self._log is not None
+        self._log.close()
+        self._log_number = self.versions.new_file_number()
+        self.versions.log_number = self._log_number
+        self._log = LogWriter(
+            self.vfs.create(log_file_name(self.name, self._log_number)),
+            sync=self.options.sync_writes)
+        self._log_and_apply(VersionEdit(log_number=self._log_number))
+        self.vfs.delete(log_file_name(self.name, old_log_number))
+        for listener in self._flush_listeners:
+            listener(flushed_max_seq)
+        if not self.options.disable_auto_compaction:
+            self.compactor.maybe_compact()
+
+    def _log_and_apply(self, edit: VersionEdit) -> None:
+        edit.next_file_number = self.versions.next_file_number
+        edit.last_sequence = self.versions.last_sequence
+        assert self._manifest is not None
+        self._manifest.log_edit(edit)
+        self.versions.apply(edit)
+        if self._manifest.size > self.options.max_manifest_size:
+            self._roll_manifest()
+
+    def _roll_manifest(self) -> None:
+        """Replace the grown manifest with one snapshot-edit manifest.
+
+        The manifest gains an edit per flush/compaction forever; rolling
+        rewrites it as a single self-contained snapshot of the current
+        version (LevelDB does the same on reopen and past a size limit).
+        """
+        from repro.lsm.manifest import manifest_file_name
+
+        old_manifest = self._manifest
+        assert old_manifest is not None
+        number = self.versions.new_file_number()
+        snapshot = VersionEdit(
+            log_number=self._log_number,
+            next_file_number=self.versions.next_file_number,
+            last_sequence=self.versions.last_sequence)
+        for level, meta in self.versions.current.all_files():
+            snapshot.add_file(level, meta)
+        for level, pointer in enumerate(self.versions.compact_pointers):
+            if pointer is not None:
+                snapshot.compact_pointers.append((level, pointer))
+        new_manifest = ManifestWriter(self.vfs, self.name, number)
+        new_manifest.log_edit(snapshot)
+        new_manifest.install_as_current()
+        old_manifest.close()
+        self.vfs.delete(manifest_file_name(self.name, old_manifest.number))
+        self._manifest = new_manifest
+
+    def add_flush_listener(self, listener: FlushListener) -> None:
+        """Register a callback invoked with the max flushed seq after a flush."""
+        self._flush_listeners.append(listener)
+
+    # -- point reads ---------------------------------------------------------
+
+    def get(self, key: bytes, snapshot: Snapshot | None = None) -> bytes | None:
+        """Newest visible value of ``key``, or ``None`` (Table 1's GET)."""
+        result = self.get_with_seq(key, snapshot)
+        if result is None:
+            return None
+        return result[0]
+
+    def get_with_seq(self, key: bytes, snapshot: Snapshot | None = None
+                     ) -> tuple[bytes, int] | None:
+        """Like :meth:`get` but also reports the resolving sequence number.
+
+        For a merge chain the sequence of the newest operand is reported:
+        it is the "time" the value last changed.
+        """
+        self._check_open()
+        max_seq = snapshot.seq if snapshot is not None else MAX_SEQUENCE
+        operands: list[bytes] = []
+        newest_seq: int | None = None
+        for kind, seq, value in self._versions_of(key, max_seq):
+            if newest_seq is None:
+                newest_seq = seq
+            if kind == KIND_MERGE:
+                operands.append(value)
+                continue
+            if kind == KIND_VALUE:
+                if operands:
+                    return self._fold(key, operands, value), newest_seq
+                return value, seq
+            # Tombstone: stop — older versions are dead.
+            if operands:
+                return self._fold(key, operands, None), newest_seq
+            return None
+        if operands:
+            assert newest_seq is not None
+            return self._fold(key, operands, None), newest_seq
+        return None
+
+    def _fold(self, key: bytes, operands_newest_first: list[bytes],
+              base: bytes | None) -> bytes:
+        operator = self.options.merge_operator
+        if operator is None:
+            raise InvalidArgumentError(
+                "merge entries present but no merge_operator configured")
+        oldest_first = list(reversed(operands_newest_first))
+        if base is not None:
+            oldest_first.insert(0, base)
+        return operator(key, oldest_first)
+
+    def _versions_of(self, key: bytes,
+                     max_seq: int) -> Iterator[tuple[int, int, bytes]]:
+        """All stored versions of ``key``, newest first, across components."""
+        for entry in self.memtable.versions(key, max_seq):
+            yield entry.kind, entry.seq, entry.value
+        version = self.versions.current
+        # Level 0 files may each hold versions; interleave them by seq.
+        l0_entries: list[tuple[int, int, bytes]] = []
+        for meta in version.files_containing_key(0, key):
+            table = self.table_cache.get(meta.file_number)
+            for ikey, value in table.versions(key, max_seq):
+                l0_entries.append((ikey.kind, ikey.seq, value))
+        l0_entries.sort(key=lambda item: -item[1])
+        yield from l0_entries
+        for level in range(1, self.options.max_levels):
+            for meta in version.files_containing_key(level, key):
+                table = self.table_cache.get(meta.file_number)
+                for ikey, value in table.versions(key, max_seq):
+                    yield ikey.kind, ikey.seq, value
+
+    # -- LevelDB++ probes -------------------------------------------------------
+
+    def fragments_by_level(self, key: bytes, max_seq: int = MAX_SEQUENCE
+                           ) -> list[tuple[int, list[tuple[int, int, bytes]]]]:
+        """Per-level version lists for ``key``: ``[(level, [(kind, seq, value)])]``.
+
+        Level ``-1`` is the MemTable.  Within a level, entries come newest
+        first.  This is the access path of the Lazy index's LOOKUP
+        (Algorithm 3): "it checks the MemTable and then the SSTables, and
+        moves down in the storage hierarchy one level at a time".
+        """
+        self._check_open()
+        out: list[tuple[int, list[tuple[int, int, bytes]]]] = []
+        mem = [(e.kind, e.seq, e.value)
+               for e in self.memtable.versions(key, max_seq)]
+        if mem:
+            out.append((-1, mem))
+        version = self.versions.current
+        for level in range(self.options.max_levels):
+            found: list[tuple[int, int, bytes]] = []
+            for meta in version.files_containing_key(level, key):
+                table = self.table_cache.get(meta.file_number)
+                for ikey, value in table.versions(key, max_seq,
+                                                  Category.INDEX):
+                    found.append((ikey.kind, ikey.seq, value))
+            if found:
+                found.sort(key=lambda item: -item[1])
+                out.append((level, found))
+        return out
+
+    def key_maybe_in_levels(self, key: bytes, below_level: int,
+                            include_memtable: bool = True) -> bool:
+        """In-memory-only probe: could ``key`` exist in levels < ``below_level``?
+
+        Uses the MemTable (exact) and, per candidate SSTable, the in-memory
+        index block and primary bloom filters — zero I/O.  This implements
+        the paper's ``GetLite`` check: "If the key appears in the upper
+        levels (0 to currentlevel-1) ... there is an updated version".
+        May return false positives at the bloom rate; never false negatives.
+        """
+        self._check_open()
+        if include_memtable and self.memtable.get(key) is not None:
+            return True
+        version = self.versions.current
+        for level in range(min(below_level, self.options.max_levels)):
+            for meta in version.files_containing_key(level, key):
+                table = self.table_cache.get(meta.file_number)
+                if table.may_contain_user_key(key):
+                    return True
+        return False
+
+    # -- range reads ------------------------------------------------------------
+
+    def scan(self, lo: bytes | None = None, hi: bytes | None = None,
+             snapshot: Snapshot | None = None,
+             category: Category = Category.DATA
+             ) -> Iterator[tuple[bytes, bytes]]:
+        """User-visible ordered iteration over ``lo <= key <= hi``."""
+        for key, value, _seq in self.scan_with_seq(lo, hi, snapshot, category):
+            yield key, value
+
+    def scan_with_seq(self, lo: bytes | None = None, hi: bytes | None = None,
+                      snapshot: Snapshot | None = None,
+                      category: Category = Category.DATA
+                      ) -> Iterator[tuple[bytes, bytes, int]]:
+        """Like :meth:`scan` but yields ``(key, value, seq)``."""
+        self._check_open()
+        max_seq = snapshot.seq if snapshot is not None else MAX_SEQUENCE
+        streams = [self._memtable_stream(lo)]
+        version = self.versions.current
+        for level in range(self.options.max_levels):
+            for meta in version.overlapping_files(level, lo, hi):
+                table = self.table_cache.get(meta.file_number)
+                streams.append(self._table_stream_from(table, lo, category))
+        merged = merge_streams(streams)
+        resolved = resolve_versions(merged, max_seq,
+                                    self.options.merge_operator)
+        yield from clip_to_range(resolved, lo, hi)
+
+    def _memtable_stream(self, lo: bytes | None
+                         ) -> Iterator[tuple[InternalKey, bytes]]:
+        if lo is None:
+            for entry in self.memtable:
+                yield InternalKey(entry.user_key, entry.seq, entry.kind), \
+                    entry.value
+            return
+        start = (lo, 0)
+        for (_user_key, _inv_seq), entry in self.memtable._list.items_from(start):
+            yield InternalKey(entry.user_key, entry.seq, entry.kind), \
+                entry.value
+
+    @staticmethod
+    def _table_stream_from(table, lo: bytes | None, category: Category
+                           ) -> Iterator[tuple[InternalKey, bytes]]:
+        if lo is None:
+            yield from table
+        else:
+            start = pack_internal_key(lo, MAX_SEQUENCE, KIND_FOR_SEEK)
+            yield from table.iterate_from(start, category)
+
+    def scan_level(self, level: int, lo: bytes | None = None,
+                   hi: bytes | None = None,
+                   category: Category = Category.INDEX
+                   ) -> Iterator[tuple[InternalKey, bytes]]:
+        """Raw versions stored in one level, in internal-key order.
+
+        ``level == -1`` scans the MemTable.  No version resolution and no
+        tombstone hiding happens here: the Lazy and Composite indexes
+        interpret per-level entries themselves (Algorithms 3-4, 6-7).
+        Entries outside ``[lo, hi]`` (user keys) are excluded.
+        """
+        self._check_open()
+        if level == -1:
+            stream: Iterator[tuple[InternalKey, bytes]] = \
+                self._memtable_stream(lo)
+        else:
+            version = self.versions.current
+            files = version.overlapping_files(level, lo, hi)
+            if level == 0:
+                stream = merge_streams([
+                    self._table_stream_from(
+                        self.table_cache.get(meta.file_number), lo, category)
+                    for meta in files])
+            else:
+                stream = self._concat_tables(files, lo, category)
+        for ikey, value in stream:
+            if lo is not None and ikey.user_key < lo:
+                continue
+            if hi is not None and ikey.user_key > hi:
+                return
+            yield ikey, value
+
+    def _concat_tables(self, files, lo: bytes | None, category: Category
+                       ) -> Iterator[tuple[InternalKey, bytes]]:
+        for meta in files:
+            table = self.table_cache.get(meta.file_number)
+            yield from self._table_stream_from(table, lo, category)
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current sequence number for consistent reads."""
+        self._check_open()
+        snap = Snapshot(self, self.versions.last_sequence)
+        self._snapshots.append(snap)
+        return snap
+
+    def _release_snapshot(self, snap: Snapshot) -> None:
+        self._snapshots = [s for s in self._snapshots if s is not snap]
+
+    def _oldest_snapshot_seq(self) -> int:
+        if not self._snapshots:
+            return MAX_SEQUENCE
+        return min(snap.seq for snap in self._snapshots)
+
+    # -- maintenance & introspection ---------------------------------------------
+
+    def compact_range(self) -> None:
+        """Flush, then push every level's data downward once (manual, full)."""
+        self._check_open()
+        self.flush()
+        for level in range(self.options.max_levels - 1):
+            files = list(self.versions.current.levels[level])
+            if not files:
+                continue
+            lo = min(meta.smallest_user_key for meta in files)
+            hi = max(meta.largest_user_key for meta in files)
+            inputs1 = self.versions.current.overlapping_files(level + 1, lo, hi)
+            self.compactor.run(Compaction(level, files, inputs1))
+
+    def checkpoint(self, dest_vfs: VFS, dest_name: str) -> int:
+        """Write a consistent, independently openable copy of the database.
+
+        SSTables are immutable, so a checkpoint is: flush the MemTable,
+        then copy every live table byte-for-byte and write a fresh
+        self-contained manifest describing them (RocksDB's Checkpoint
+        mechanism).  Later writes to this database never touch the copy.
+        Returns the number of files copied.
+        """
+        self._check_open()
+        self.flush()
+        from repro.lsm.manifest import ManifestWriter, table_file_name
+
+        copied = 0
+        edit = VersionEdit(
+            log_number=0,
+            next_file_number=self.versions.next_file_number,
+            last_sequence=self.versions.last_sequence)
+        for level, meta in self.versions.current.all_files():
+            payload = self.vfs.read_whole(
+                table_file_name(self.name, meta.file_number),
+                Category.OTHER)
+            dest_vfs.write_whole(
+                table_file_name(dest_name, meta.file_number), payload,
+                Category.OTHER)
+            edit.add_file(level, meta)
+            copied += 1
+        manifest = ManifestWriter(dest_vfs, dest_name, 1)
+        manifest.log_edit(edit)
+        manifest.install_as_current()
+        manifest.close()
+        return copied
+
+    def approximate_size(self) -> int:
+        """Total bytes of all files belonging to this database."""
+        return self.vfs.total_size(self.name + "/")
+
+    def num_nonempty_levels(self) -> int:
+        """The paper's L: populated on-disk levels, plus the MemTable if any."""
+        levels = self.versions.current.num_nonempty_levels()
+        if not self.memtable.is_empty():
+            levels += 1
+        return levels
+
+    @property
+    def io_stats(self):
+        return self.vfs.stats
+
+    def level_file_counts(self) -> list[int]:
+        return [len(files) for files in self.versions.current.levels]
+
+    def debug_string(self) -> str:
+        """Human-readable internal state (RocksDB's ``GetProperty`` spirit).
+
+        Level shapes, MemTable pressure, compaction counters and the I/O
+        meters — everything needed to understand what the tree is doing.
+        """
+        version = self.versions.current
+        stats = self.compactor.stats
+        io = self.vfs.stats
+        lines = [
+            f"-- DB {self.name} --",
+            f"last_sequence: {self.versions.last_sequence}",
+            f"memtable: {len(self.memtable)} entries / "
+            f"{self.memtable.approximate_memory_usage:,} of "
+            f"{self.options.memtable_budget:,} bytes",
+        ]
+        for level, files in enumerate(version.levels):
+            if not files:
+                continue
+            budget = self.options.max_bytes_for_level(level)
+            budget_text = "n/a" if budget == float("inf") \
+                else f"{budget:,.0f}"
+            lines.append(
+                f"L{level}: {len(files):3d} files "
+                f"{version.level_size(level):>10,} bytes "
+                f"(budget {budget_text})")
+        lines.append(
+            f"flushes: {stats.flush_count}  "
+            f"compactions: {stats.compaction_count} "
+            f"{dict(sorted(stats.compactions_by_level.items()))}")
+        lines.append(
+            f"compacted: {stats.bytes_compacted_in:,} in / "
+            f"{stats.bytes_compacted_out:,} out  "
+            f"dropped entries: {stats.entries_dropped}  "
+            f"merges folded: {stats.merges_folded}")
+        lines.append(
+            f"io: {io.read_blocks:,} read blocks / "
+            f"{io.write_blocks:,} write blocks "
+            f"(reads by category: {dict(sorted(io.reads_by_category.items()))})")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        files = sum(self.level_file_counts())
+        return (f"DB(name={self.name!r}, files={files}, "
+                f"last_seq={self.versions.last_sequence})")

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the LSM engine.
+
+Mirrors LevelDB's ``Status`` codes: rather than returning status objects the
+engine raises a small, well-defined family of exceptions.  All engine errors
+derive from :class:`LSMError` so callers can catch storage failures with a
+single ``except`` clause.
+"""
+
+
+class LSMError(Exception):
+    """Base class for every error raised by the storage engine."""
+
+
+class CorruptionError(LSMError):
+    """Persistent data failed an integrity check (CRC, magic number, bounds).
+
+    Raised while decoding WAL records, SSTable blocks, footers or manifest
+    edits whose stored checksums or framing do not match their contents.
+    """
+
+
+class NotFoundError(LSMError, KeyError):
+    """A required file or key was not found.
+
+    Subclasses :class:`KeyError` as well so that dictionary-style access
+    idioms (``except KeyError``) keep working for key lookups.
+    """
+
+
+class InvalidArgumentError(LSMError, ValueError):
+    """A caller-supplied argument is malformed or out of range."""
+
+
+class DBClosedError(LSMError):
+    """An operation was attempted on a database handle after ``close()``."""
+
+
+class ReadOnlyError(LSMError):
+    """A mutation was attempted on a database opened in read-only mode."""
+
+
+class WriteStallError(LSMError):
+    """Writes were rejected because level-0 reached its hard file limit.
+
+    LevelDB slows and eventually stalls writers when compaction cannot keep
+    up.  The synchronous engine compacts inline, so in practice this error
+    signals a configuration problem (for example a zero-size level budget).
+    """

@@ -1,0 +1,115 @@
+"""Iterators: k-way merging of sorted entry streams and version resolution.
+
+Every storage component (MemTable, each SSTable, each level) exposes a
+stream of ``(InternalKey, value)`` pairs in internal-key order.  This module
+merges such streams and collapses raw version streams into the user-visible
+view: newest visible version wins, tombstones hide keys, and merge operands
+are folded through the merge operator — the read-side half of the
+RocksDB-style merge mechanism the Lazy index builds on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator
+
+from repro.lsm.errors import InvalidArgumentError
+from repro.lsm.keys import (
+    KIND_MERGE,
+    KIND_VALUE,
+    InternalKey,
+    MAX_SEQUENCE,
+)
+
+EntryStream = Iterator[tuple[InternalKey, bytes]]
+MergeFn = Callable[[bytes, list[bytes]], bytes]
+
+
+def merge_streams(streams: list[EntryStream]) -> EntryStream:
+    """Merge sorted entry streams into one sorted stream (stable heap merge)."""
+    heap: list[tuple[tuple[bytes, int, int], int, InternalKey, bytes]] = []
+    iterators = [iter(stream) for stream in streams]
+    for index, iterator in enumerate(iterators):
+        for ikey, value in iterator:
+            heapq.heappush(heap, (ikey.sort_key(), index, ikey, value))
+            break
+    while heap:
+        _sort_key, index, ikey, value = heapq.heappop(heap)
+        yield ikey, value
+        for next_ikey, next_value in iterators[index]:
+            heapq.heappush(
+                heap, (next_ikey.sort_key(), index, next_ikey, next_value))
+            break
+
+
+def resolve_versions(
+    entries: EntryStream,
+    max_seq: int = MAX_SEQUENCE,
+    merge_operator: MergeFn | None = None,
+) -> Iterator[tuple[bytes, bytes, int]]:
+    """Collapse a raw version stream to user-visible ``(key, value, seq)``.
+
+    ``entries`` must be in internal-key order (user key ascending, seq
+    descending) and may interleave several versions per user key.  Entries
+    with ``seq > max_seq`` are invisible (snapshot reads).  For each user
+    key the newest visible version decides:
+
+    * ``KIND_VALUE`` — yielded as-is,
+    * ``KIND_DELETE`` — the key is hidden,
+    * ``KIND_MERGE`` — operands are accumulated (newest first) down to the
+      first VALUE/DELETE base or the end of the key's versions, then folded
+      oldest-first through ``merge_operator``.
+    """
+    current_key: bytes | None = None
+    operands: list[bytes] = []  # newest-first merge operands
+    operand_seq = 0
+
+    def fold(user_key: bytes, base: bytes | None) -> bytes:
+        if merge_operator is None:
+            raise InvalidArgumentError(
+                "merge entries present but no merge_operator configured")
+        oldest_first = list(reversed(operands))
+        if base is not None:
+            oldest_first.insert(0, base)
+        return merge_operator(user_key, oldest_first)
+
+    done_with_key = False
+    for ikey, value in entries:
+        if ikey.user_key != current_key:
+            if operands and current_key is not None:
+                # Merge chain ran off the end of the previous key: no base.
+                yield current_key, fold(current_key, None), operand_seq
+            current_key = ikey.user_key
+            operands = []
+            done_with_key = False
+        if done_with_key or ikey.seq > max_seq:
+            continue
+        if ikey.kind == KIND_MERGE:
+            if not operands:
+                operand_seq = ikey.seq
+            operands.append(value)
+            continue
+        done_with_key = True
+        if operands:
+            base = value if ikey.kind == KIND_VALUE else None
+            yield current_key, fold(current_key, base), operand_seq
+            operands = []
+        elif ikey.kind == KIND_VALUE:
+            yield current_key, value, ikey.seq
+        # KIND_DELETE with no pending operands: key is simply hidden.
+    if operands and current_key is not None:
+        yield current_key, fold(current_key, None), operand_seq
+
+
+def clip_to_range(
+    resolved: Iterator[tuple[bytes, bytes, int]],
+    lo: bytes | None,
+    hi: bytes | None,
+) -> Iterator[tuple[bytes, bytes, int]]:
+    """Keep only keys with ``lo <= key <= hi`` (``None`` = unbounded)."""
+    for key, value, seq in resolved:
+        if lo is not None and key < lo:
+            continue
+        if hi is not None and key > hi:
+            return
+        yield key, value, seq

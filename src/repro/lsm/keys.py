@@ -1,0 +1,148 @@
+"""Key encodings and low-level integer codecs.
+
+The engine stores *internal keys*: a user key extended with a 64-bit trailer
+packing the entry's sequence number and its kind (value, deletion tombstone
+or merge operand).  Exactly as in LevelDB, internal keys for the same user
+key are ordered newest-first, so a forward scan over a sorted run yields the
+most recent visible version of each user key first.
+
+This module also provides the varint32/varint64 codecs used throughout the
+block, SSTable and WAL formats.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple
+
+# Value kinds.  The numeric order matters: when two internal keys share a
+# user key *and* a sequence number (which a correct writer never produces),
+# the comparator falls back to kind so ordering stays total.
+KIND_DELETE = 0
+KIND_VALUE = 1
+KIND_MERGE = 2
+
+_KIND_NAMES = {KIND_DELETE: "delete", KIND_VALUE: "value", KIND_MERGE: "merge"}
+
+#: Kind to use in *seek probes*.  At equal (user_key, seq), higher kinds
+#: sort first (LevelDB's kValueTypeForSeek), so a probe built with the
+#: highest kind positions at-or-before every real entry of that sequence.
+KIND_FOR_SEEK = KIND_MERGE
+
+#: Largest representable sequence number (56 bits, as in LevelDB).
+MAX_SEQUENCE = (1 << 56) - 1
+
+_TRAILER = struct.Struct(">Q")
+
+
+class InternalKey(NamedTuple):
+    """A decoded internal key: ``(user_key, seq, kind)``."""
+
+    user_key: bytes
+    seq: int
+    kind: int
+
+    def encode(self) -> bytes:
+        return pack_internal_key(self.user_key, self.seq, self.kind)
+
+    @property
+    def kind_name(self) -> str:
+        return _KIND_NAMES.get(self.kind, f"unknown({self.kind})")
+
+    def sort_key(self) -> tuple[bytes, int, int]:
+        """Tuple that sorts internal keys: user key ascending, seq descending.
+
+        Newest entries (largest seq) come first within a user key, mirroring
+        LevelDB's ``InternalKeyComparator``.
+        """
+        return (self.user_key, MAX_SEQUENCE - self.seq, -self.kind)
+
+
+def pack_internal_key(user_key: bytes, seq: int, kind: int) -> bytes:
+    """Encode ``user_key`` plus an 8-byte big-endian ``(seq << 8) | kind`` trailer."""
+    if not 0 <= seq <= MAX_SEQUENCE:
+        raise ValueError(f"sequence number out of range: {seq}")
+    if kind not in _KIND_NAMES:
+        raise ValueError(f"invalid value kind: {kind}")
+    return user_key + _TRAILER.pack((seq << 8) | kind)
+
+
+def unpack_internal_key(data: bytes) -> InternalKey:
+    """Decode an internal key produced by :func:`pack_internal_key`."""
+    if len(data) < 8:
+        raise ValueError(f"internal key too short: {len(data)} bytes")
+    tag = _TRAILER.unpack_from(data, len(data) - 8)[0]
+    return InternalKey(bytes(data[:-8]), tag >> 8, tag & 0xFF)
+
+
+def internal_sort_key(encoded: bytes) -> tuple[bytes, int, int]:
+    """Sort key for an *encoded* internal key (see :meth:`InternalKey.sort_key`)."""
+    return unpack_internal_key(encoded).sort_key()
+
+
+def compare_internal(a: bytes, b: bytes) -> int:
+    """Three-way comparison of two encoded internal keys."""
+    ka = internal_sort_key(a)
+    kb = internal_sort_key(b)
+    if ka < kb:
+        return -1
+    if ka > kb:
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Varint codecs (LEB128, as used by LevelDB's on-disk formats)
+# ---------------------------------------------------------------------------
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a little-endian base-128 varint."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``data`` at ``offset``.
+
+    Returns ``(value, new_offset)``.  Raises :class:`ValueError` on truncated
+    input so callers can surface a :class:`~repro.lsm.errors.CorruptionError`
+    with context.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def encode_length_prefixed(blob: bytes) -> bytes:
+    """Encode ``blob`` as ``varint(len) || blob``."""
+    return encode_varint(len(blob)) + blob
+
+
+def decode_length_prefixed(data: bytes, offset: int = 0) -> tuple[bytes, int]:
+    """Decode a length-prefixed blob; returns ``(blob, new_offset)``."""
+    length, pos = decode_varint(data, offset)
+    end = pos + length
+    if end > len(data):
+        raise ValueError("truncated length-prefixed blob")
+    return bytes(data[pos:end]), end

@@ -1,0 +1,95 @@
+"""Manifest: the durable log of version edits.
+
+The manifest reuses the WAL record format; each record is one serialized
+:class:`~repro.lsm.version.VersionEdit`.  A ``CURRENT`` file names the
+active manifest, and recovery replays every edit in order to rebuild the
+:class:`~repro.lsm.version.VersionSet` — the same two-file scheme LevelDB
+uses.
+"""
+
+from __future__ import annotations
+
+from repro.lsm.errors import CorruptionError
+from repro.lsm.vfs import VFS, Category
+from repro.lsm.version import VersionEdit, VersionSet
+from repro.lsm.wal import LogReader, LogWriter
+
+
+def manifest_file_name(db_name: str, number: int) -> str:
+    return f"{db_name}/MANIFEST-{number:06d}"
+
+
+def current_file_name(db_name: str) -> str:
+    return f"{db_name}/CURRENT"
+
+
+def table_file_name(db_name: str, number: int) -> str:
+    return f"{db_name}/{number:06d}.ldb"
+
+
+def log_file_name(db_name: str, number: int) -> str:
+    return f"{db_name}/{number:06d}.log"
+
+
+class ManifestWriter:
+    """Appends version edits to the active manifest."""
+
+    def __init__(self, vfs: VFS, db_name: str, number: int) -> None:
+        self.vfs = vfs
+        self.db_name = db_name
+        self.number = number
+        self._file = vfs.create(manifest_file_name(db_name, number))
+        self._log = LogWriter(self._file)
+
+    def log_edit(self, edit: VersionEdit) -> None:
+        self._log.add_record(edit.encode())
+        # Version edits record which files exist; losing one to a crash
+        # would orphan live tables (and recovery would then delete them as
+        # garbage).  LevelDB syncs the manifest on every LogAndApply; so
+        # do we — edits are rare (per flush/compaction) and tiny.
+        self._file.sync()
+
+    @property
+    def size(self) -> int:
+        return self._file.size
+
+    def install_as_current(self) -> None:
+        """Atomically point ``CURRENT`` at this manifest."""
+        tmp = f"{self.db_name}/CURRENT.tmp"
+        self.vfs.write_whole(
+            tmp, f"MANIFEST-{self.number:06d}\n".encode("utf-8"),
+            Category.MANIFEST)
+        self.vfs.rename(tmp, current_file_name(self.db_name))
+
+    def close(self) -> None:
+        self._log.close()
+
+
+def read_current_manifest_number(vfs: VFS, db_name: str) -> int | None:
+    """Manifest number named by ``CURRENT``, or ``None`` for a fresh DB."""
+    name = current_file_name(db_name)
+    if not vfs.exists(name):
+        return None
+    content = vfs.read_whole(name, Category.MANIFEST).decode("utf-8").strip()
+    if not content.startswith("MANIFEST-"):
+        raise CorruptionError(f"malformed CURRENT file: {content!r}")
+    try:
+        return int(content[len("MANIFEST-"):])
+    except ValueError as exc:
+        raise CorruptionError(f"malformed CURRENT file: {content!r}") from exc
+
+
+def recover_version_set(vfs: VFS, db_name: str,
+                        version_set: VersionSet) -> bool:
+    """Replay the current manifest into ``version_set``.
+
+    Returns True if a manifest existed (the DB is being reopened), False
+    for a fresh database.
+    """
+    number = read_current_manifest_number(vfs, db_name)
+    if number is None:
+        return False
+    reader = LogReader(vfs.open_random(manifest_file_name(db_name, number)))
+    for payload in reader:
+        version_set.apply(VersionEdit.decode(payload))
+    return True

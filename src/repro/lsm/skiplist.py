@@ -1,0 +1,110 @@
+"""A probabilistic skip list.
+
+This is the MemTable's core ordered structure, as in LevelDB.  Keys are
+arbitrary comparable objects (the MemTable uses internal-key sort tuples).
+The list supports insertion, exact search, and ordered iteration from an
+arbitrary seek position — everything an LSM memory component needs.  Keys
+are never removed individually; deletion in an LSM tree is an insertion of
+a tombstone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator
+
+_MAX_HEIGHT = 12
+_BRANCHING = 4
+
+
+class _Node:
+    __slots__ = ("key", "value", "next")
+
+    def __init__(self, key: Any, value: Any, height: int) -> None:
+        self.key = key
+        self.value = value
+        self.next: list[_Node | None] = [None] * height
+
+
+class SkipList:
+    """Sorted map with O(log n) expected insert and seek.
+
+    Duplicate keys are rejected: the MemTable encodes the sequence number
+    into every key, which makes all inserted keys unique by construction.
+    """
+
+    def __init__(self, rng: random.Random | None = None) -> None:
+        self._head = _Node(None, None, _MAX_HEIGHT)
+        self._height = 1
+        self._rng = rng or random.Random(0x5EED)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < _MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_greater_or_equal(
+            self, key: Any, prev: list[_Node] | None = None) -> _Node | None:
+        node = self._head
+        level = self._height - 1
+        while True:
+            nxt = node.next[level]
+            if nxt is not None and nxt.key < key:
+                node = nxt
+            else:
+                if prev is not None:
+                    prev[level] = node
+                if level == 0:
+                    return nxt
+                level -= 1
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``key`` -> ``value``; raises if the key already exists."""
+        prev: list[_Node] = [self._head] * _MAX_HEIGHT
+        nxt = self._find_greater_or_equal(key, prev)
+        if nxt is not None and nxt.key == key:
+            raise KeyError(f"duplicate skiplist key: {key!r}")
+        height = self._random_height()
+        if height > self._height:
+            for level in range(self._height, height):
+                prev[level] = self._head
+            self._height = height
+        node = _Node(key, value, height)
+        for level in range(height):
+            node.next[level] = prev[level].next[level]
+            prev[level].next[level] = node
+        self._size += 1
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._find_greater_or_equal(key)
+        if node is not None and node.key == key:
+            return node.value
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._find_greater_or_equal(key)
+        return node is not None and node.key == key
+
+    def items_from(self, key: Any) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs with keys >= ``key``, in order."""
+        node = self._find_greater_or_equal(key)
+        while node is not None:
+            yield node.key, node.value
+            node = node.next[0]
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        node = self._head.next[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.next[0]
+
+    def first(self) -> tuple[Any, Any] | None:
+        node = self._head.next[0]
+        if node is None:
+            return None
+        return node.key, node.value

@@ -1,0 +1,481 @@
+"""SSTables: immutable sorted tables with embedded secondary-index metadata.
+
+File layout (LevelDB's, extended per the paper's Figure 3)::
+
+    [data block 1]
+    ...
+    [data block N]
+    [primary filter meta block]        one bloom filter per data block
+    [secondary filter meta block(s)]   per indexed attribute   (LevelDB++)
+    [secondary zone-map meta block(s)] per indexed attribute   (LevelDB++)
+    [metaindex block]                  meta block name -> handle
+    [index block]                      last key per data block -> handle
+    [footer]                           metaindex + index handles, magic
+
+Each physical block is followed by a one-byte compression tag and a CRC32
+of payload+tag, as in LevelDB.  Filter and zone-map blocks are loaded into
+memory when a table is opened (the paper keeps them memory-resident via a
+large ``max_open_files``), so query-time pruning consults them without I/O;
+only data blocks that survive pruning are read — and charged.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.lsm.block import Block, BlockBuilder
+from repro.lsm.bloom import BloomFilterBuilder, bloom_may_contain
+from repro.lsm.compression import Compressor, decompress
+from repro.lsm.errors import CorruptionError
+from repro.lsm.keys import (
+    InternalKey,
+    decode_length_prefixed,
+    decode_varint,
+    encode_length_prefixed,
+    encode_varint,
+    internal_sort_key,
+    unpack_internal_key,
+)
+from repro.lsm.options import Options, resolve_attribute_path
+from repro.lsm.vfs import Category, RandomAccessFile, WritableFile
+from repro.lsm.zonemap import ZoneMap, ZoneMapBuilder, encode_attribute
+
+_U32 = struct.Struct("<I")
+_FOOTER_SIZE = 48
+_MAGIC = b"LDBppPY1"
+
+_META_PRIMARY_FILTER = b"filter.primary"
+_META_SECONDARY_FILTER = "filter.secondary."
+_META_SECONDARY_ZONEMAP = "zonemap.secondary."
+
+
+@dataclass(frozen=True)
+class BlockHandle:
+    """Location of a block within the file (size excludes the 5-byte trailer)."""
+
+    offset: int
+    size: int
+
+    def encode(self) -> bytes:
+        return encode_varint(self.offset) + encode_varint(self.size)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> tuple["BlockHandle", int]:
+        off, pos = decode_varint(data, offset)
+        size, pos = decode_varint(data, pos)
+        return cls(off, size), pos
+
+
+@dataclass
+class TableProperties:
+    """Summary statistics the builder reports for manifest bookkeeping."""
+
+    num_entries: int = 0
+    num_data_blocks: int = 0
+    file_size: int = 0
+    smallest: bytes | None = None  # encoded internal key
+    largest: bytes | None = None
+    min_seq: int = 0
+    max_seq: int = 0
+    secondary_zonemaps: dict[str, ZoneMap] = field(default_factory=dict)
+
+
+def _write_physical_block(out: WritableFile, payload: bytes,
+                          compressor: Compressor,
+                          category: Category) -> BlockHandle:
+    offset = out.size
+    data, type_tag = compressor.compress(payload)
+    tag = bytes([type_tag])
+    crc = _U32.pack(zlib.crc32(data + tag) & 0xFFFFFFFF)
+    out.append(data + tag + crc, category)
+    return BlockHandle(offset, len(data))
+
+
+def _read_physical_block(file: RandomAccessFile, handle: BlockHandle,
+                         category: Category, verify_crc: bool) -> bytes:
+    raw = file.read_at(handle.offset, handle.size + 5, category)
+    if len(raw) != handle.size + 5:
+        raise CorruptionError(
+            f"truncated block read at offset {handle.offset}")
+    payload, type_tag, stored_crc = raw[:-5], raw[-5], raw[-4:]
+    if verify_crc:
+        actual = _U32.pack(zlib.crc32(raw[:-4]) & 0xFFFFFFFF)
+        if actual != stored_crc:
+            raise CorruptionError(
+                f"block CRC mismatch at offset {handle.offset}")
+    try:
+        return decompress(payload, type_tag)
+    except (zlib.error, ValueError) as exc:
+        # A block that fails to decompress is corrupt regardless of
+        # whether the (skipped) CRC would have caught it.
+        raise CorruptionError(
+            f"block decompression failed at offset {handle.offset}: "
+            f"{exc}") from exc
+
+
+class TableBuilder:
+    """Streams sorted entries into a new SSTable file.
+
+    When :attr:`Options.indexed_attributes` is non-empty, the builder runs
+    the options' attribute extractor over every VALUE entry and accumulates,
+    per data block, a bloom filter and a zone map for each attribute — the
+    Embedded Index structures of the paper's Section 3.  They cost nothing
+    extra at write time beyond CPU: they are emitted with the table during
+    flush/compaction, never updated in place.
+    """
+
+    def __init__(self, options: Options, out: WritableFile,
+                 compressor: Compressor,
+                 category: Category = Category.FLUSH) -> None:
+        self.options = options
+        self._out = out
+        self._compressor = compressor
+        self._category = category
+        self._data_block = BlockBuilder()
+        self._index_block = BlockBuilder(restart_interval=1)
+        self._index_entries: list[tuple[bytes, BlockHandle]] = []
+        self._primary_filter = BloomFilterBuilder(options.bloom_bits_per_key)
+        self._primary_filters: list[bytes] = []
+        self._secondary_filters: dict[str, list[bytes]] = {
+            attr: [] for attr in options.indexed_attributes}
+        self._secondary_filter_builders: dict[str, BloomFilterBuilder] = {}
+        self._secondary_zonemaps: dict[str, list[ZoneMap]] = {
+            attr: [] for attr in options.indexed_attributes}
+        self._secondary_zonemap_builders: dict[str, ZoneMapBuilder] = {}
+        self._file_zonemap_builders: dict[str, ZoneMapBuilder] = {
+            attr: ZoneMapBuilder() for attr in options.indexed_attributes}
+        self._reset_block_secondary_builders()
+        self.props = TableProperties()
+        self._finished = False
+
+    def _reset_block_secondary_builders(self) -> None:
+        bits = self.options.secondary_bloom_bits_per_key
+        self._secondary_filter_builders = {
+            attr: BloomFilterBuilder(bits)
+            for attr in self.options.indexed_attributes}
+        self._secondary_zonemap_builders = {
+            attr: ZoneMapBuilder()
+            for attr in self.options.indexed_attributes}
+
+    def add(self, internal_key: bytes, value: bytes) -> None:
+        """Append an entry (keys must be in internal-key order)."""
+        if self._finished:
+            raise ValueError("builder already finished")
+        decoded = unpack_internal_key(internal_key)
+        self._data_block.add(internal_key, value)
+        self._primary_filter.add(decoded.user_key)
+        self._observe_secondary(decoded, value)
+        self._track_bounds(internal_key, decoded)
+        self.props.num_entries += 1
+        if self._data_block.current_size_estimate() >= self.options.block_size:
+            self._flush_data_block()
+
+    def _observe_secondary(self, decoded: InternalKey, value: bytes) -> None:
+        from repro.lsm.keys import KIND_VALUE
+
+        if not self.options.indexed_attributes or decoded.kind != KIND_VALUE:
+            return
+        attrs = self.options.attribute_extractor(value)
+        for attr in self.options.indexed_attributes:
+            attr_value = resolve_attribute_path(attrs, attr)
+            if attr_value is None:
+                continue
+            encoded = encode_attribute(attr_value)
+            self._secondary_filter_builders[attr].add(encoded)
+            self._secondary_zonemap_builders[attr].add(encoded)
+            self._file_zonemap_builders[attr].add(encoded)
+
+    def _track_bounds(self, internal_key: bytes, decoded: InternalKey) -> None:
+        if self.props.smallest is None:
+            self.props.smallest = internal_key
+            self.props.min_seq = decoded.seq
+            self.props.max_seq = decoded.seq
+        self.props.largest = internal_key
+        self.props.min_seq = min(self.props.min_seq, decoded.seq)
+        self.props.max_seq = max(self.props.max_seq, decoded.seq)
+
+    def _flush_data_block(self) -> None:
+        if self._data_block.is_empty:
+            return
+        handle = _write_physical_block(
+            self._out, self._data_block.finish(), self._compressor,
+            self._category)
+        last_key = self._data_block._last_key
+        self._index_entries.append((last_key, handle))
+        self._primary_filters.append(self._primary_filter.finish())
+        self._primary_filter = BloomFilterBuilder(self.options.bloom_bits_per_key)
+        for attr in self.options.indexed_attributes:
+            self._secondary_filters[attr].append(
+                self._secondary_filter_builders[attr].finish())
+            self._secondary_zonemaps[attr].append(
+                self._secondary_zonemap_builders[attr].finish())
+        self._reset_block_secondary_builders()
+        self._data_block.reset()
+        self.props.num_data_blocks += 1
+
+    @property
+    def estimated_file_size(self) -> int:
+        return self._out.size + self._data_block.current_size_estimate()
+
+    @property
+    def num_entries(self) -> int:
+        return self.props.num_entries
+
+    def finish(self) -> TableProperties:
+        """Flush remaining data, write meta/index blocks and the footer."""
+        if self._finished:
+            raise ValueError("builder already finished")
+        self._flush_data_block()
+        meta_handles: list[tuple[bytes, BlockHandle]] = []
+        meta_handles.append((
+            _META_PRIMARY_FILTER,
+            self._write_filter_block(self._primary_filters)))
+        for attr in self.options.indexed_attributes:
+            name = (_META_SECONDARY_FILTER + attr).encode("utf-8")
+            meta_handles.append((
+                name, self._write_filter_block(self._secondary_filters[attr])))
+            name = (_META_SECONDARY_ZONEMAP + attr).encode("utf-8")
+            meta_handles.append((
+                name,
+                self._write_zonemap_block(self._secondary_zonemaps[attr])))
+        metaindex_handle = self._write_metaindex(meta_handles)
+        for last_key, handle in self._index_entries:
+            self._index_block.add(last_key, handle.encode())
+        index_handle = _write_physical_block(
+            self._out, self._index_block.finish(), self._compressor,
+            self._category)
+        footer = metaindex_handle.encode() + index_handle.encode()
+        footer += b"\x00" * (_FOOTER_SIZE - 8 - len(footer))
+        footer += _MAGIC
+        self._out.append(footer, self._category)
+        self._out.sync()
+        self.props.file_size = self._out.size
+        self.props.secondary_zonemaps = {
+            attr: builder.finish()
+            for attr, builder in self._file_zonemap_builders.items()}
+        self._finished = True
+        return self.props
+
+    def _write_filter_block(self, filters: list[bytes]) -> BlockHandle:
+        payload = bytearray(encode_varint(len(filters)))
+        for blob in filters:
+            payload += encode_length_prefixed(blob)
+        return _write_physical_block(
+            self._out, bytes(payload), self._compressor, self._category)
+
+    def _write_zonemap_block(self, zonemaps: list[ZoneMap]) -> BlockHandle:
+        payload = bytearray(encode_varint(len(zonemaps)))
+        for zone in zonemaps:
+            payload += zone.encode()
+        return _write_physical_block(
+            self._out, bytes(payload), self._compressor, self._category)
+
+    def _write_metaindex(
+            self, handles: list[tuple[bytes, BlockHandle]]) -> BlockHandle:
+        payload = bytearray(encode_varint(len(handles)))
+        for name, handle in handles:
+            payload += encode_length_prefixed(name)
+            payload += encode_length_prefixed(handle.encode())
+        return _write_physical_block(
+            self._out, bytes(payload), self._compressor, self._category)
+
+
+def _decode_filter_block(payload: bytes) -> list[bytes]:
+    count, pos = decode_varint(payload, 0)
+    filters = []
+    for _ in range(count):
+        blob, pos = decode_length_prefixed(payload, pos)
+        filters.append(blob)
+    return filters
+
+
+def _decode_zonemap_block(payload: bytes) -> list[ZoneMap]:
+    count, pos = decode_varint(payload, 0)
+    zonemaps = []
+    for _ in range(count):
+        zone, pos = ZoneMap.decode(payload, pos)
+        zonemaps.append(zone)
+    return zonemaps
+
+
+class SSTable:
+    """Read-side handle on one table file.
+
+    Opening a table reads the footer, the index block and all meta blocks
+    (filters and zone maps); after that, key lookups touch "disk" only for
+    data blocks that pass the bloom-filter and zone-map checks.
+    """
+
+    def __init__(self, options: Options, file: RandomAccessFile,
+                 file_number: int = 0) -> None:
+        self.options = options
+        self.file = file
+        self.file_number = file_number
+        footer = file.read_at(file.size - _FOOTER_SIZE, _FOOTER_SIZE,
+                              Category.INDEX)
+        if len(footer) != _FOOTER_SIZE or footer[-8:] != _MAGIC:
+            raise CorruptionError(
+                f"bad SSTable footer in file {file_number}")
+        metaindex_handle, pos = BlockHandle.decode(footer, 0)
+        index_handle, _pos = BlockHandle.decode(footer, pos)
+        self._index_block = Block(_read_physical_block(
+            file, index_handle, Category.INDEX, verify_crc=True))
+        self._index_entries: list[tuple[bytes, BlockHandle]] = []
+        for key, value in self._index_block:
+            handle, _off = BlockHandle.decode(value, 0)
+            self._index_entries.append((key, handle))
+        self.primary_filters: list[bytes] = []
+        self.secondary_filters: dict[str, list[bytes]] = {}
+        self.secondary_zonemaps: dict[str, list[ZoneMap]] = {}
+        self._load_meta(metaindex_handle)
+        self._block_cache: Any = None  # set by TableCache when caching is on
+
+    def _load_meta(self, metaindex_handle: BlockHandle) -> None:
+        payload = _read_physical_block(
+            self.file, metaindex_handle, Category.INDEX, verify_crc=True)
+        count, pos = decode_varint(payload, 0)
+        for _ in range(count):
+            name_bytes, pos = decode_length_prefixed(payload, pos)
+            handle_bytes, pos = decode_length_prefixed(payload, pos)
+            handle, _off = BlockHandle.decode(handle_bytes, 0)
+            block_payload = _read_physical_block(
+                self.file, handle, Category.FILTER, verify_crc=True)
+            name = name_bytes.decode("utf-8")
+            if name_bytes == _META_PRIMARY_FILTER:
+                self.primary_filters = _decode_filter_block(block_payload)
+            elif name.startswith(_META_SECONDARY_FILTER):
+                attr = name[len(_META_SECONDARY_FILTER):]
+                self.secondary_filters[attr] = _decode_filter_block(
+                    block_payload)
+            elif name.startswith(_META_SECONDARY_ZONEMAP):
+                attr = name[len(_META_SECONDARY_ZONEMAP):]
+                self.secondary_zonemaps[attr] = _decode_zonemap_block(
+                    block_payload)
+
+    # -- block access -------------------------------------------------------
+
+    @property
+    def num_data_blocks(self) -> int:
+        return len(self._index_entries)
+
+    def read_data_block(self, index: int,
+                        category: Category = Category.DATA) -> Block:
+        """Read (and decompress) data block ``index``, consulting the cache."""
+        handle = self._index_entries[index][1]
+        if self._block_cache is not None:
+            cached = self._block_cache.get((self.file_number, handle.offset))
+            if cached is not None:
+                return cached
+        payload = _read_physical_block(
+            self.file, handle, category,
+            verify_crc=self.options.paranoid_checks)
+        block = Block(payload)
+        if self._block_cache is not None:
+            self._block_cache.put((self.file_number, handle.offset), block,
+                                  len(payload))
+        return block
+
+    def _block_index_for(self, internal_key: bytes) -> int | None:
+        """Index of the first block whose last key is >= ``internal_key``."""
+        target = internal_sort_key(internal_key)
+        lo, hi = 0, len(self._index_entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if internal_sort_key(self._index_entries[mid][0]) < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= len(self._index_entries):
+            return None
+        return lo
+
+    # -- lookups ------------------------------------------------------------
+
+    def may_contain_primary(self, user_key: bytes, block_index: int) -> bool:
+        """Consult the in-memory primary bloom for one block (no I/O)."""
+        if block_index >= len(self.primary_filters):
+            return True
+        return bloom_may_contain(self.primary_filters[block_index], user_key)
+
+    def may_contain_user_key(self, user_key: bytes) -> bool:
+        """Purely in-memory presence probe: index block + primary blooms.
+
+        This is the core of the paper's ``GetLite`` optimisation (Section 3):
+        deciding whether a *newer* version of a key might exist in a file
+        without reading any data block.  False positives are possible at the
+        bloom filter's rate; false negatives are not.
+        """
+        from repro.lsm.keys import (
+            KIND_FOR_SEEK, MAX_SEQUENCE, pack_internal_key)
+
+        probe = pack_internal_key(user_key, MAX_SEQUENCE, KIND_FOR_SEEK)
+        start = self._block_index_for(probe)
+        if start is None:
+            return False
+        for block_index in range(start, len(self._index_entries)):
+            if self.may_contain_primary(user_key, block_index):
+                return True
+            if not self._user_key_may_continue(user_key, block_index):
+                return False
+        return False
+
+    def versions(self, user_key: bytes, max_seq: int,
+                 category: Category = Category.DATA
+                 ) -> Iterator[tuple[InternalKey, bytes]]:
+        """All stored versions of ``user_key`` with ``seq <= max_seq``.
+
+        Yields newest-first.  Performs at most a handful of data-block reads
+        (bloom filters prune the common miss case without I/O).
+        """
+        from repro.lsm.keys import KIND_FOR_SEEK, pack_internal_key
+
+        probe = pack_internal_key(user_key, max_seq, KIND_FOR_SEEK)
+        start = self._block_index_for(probe)
+        if start is None:
+            return
+        for block_index in range(start, len(self._index_entries)):
+            if not self.may_contain_primary(user_key, block_index):
+                # Bloom says the key is not in this block.  Versions of one
+                # user key may still straddle a block boundary, so continue
+                # to the next block rather than stopping; the next index-key
+                # check below terminates the scan cheaply.
+                if not self._user_key_may_continue(user_key, block_index):
+                    return
+                continue
+            block = self.read_data_block(block_index, category)
+            for ikey_bytes, value in block.seek(probe):
+                ikey = unpack_internal_key(ikey_bytes)
+                if ikey.user_key != user_key:
+                    return
+                yield ikey, value
+            if not self._user_key_may_continue(user_key, block_index):
+                return
+
+    def _user_key_may_continue(self, user_key: bytes, block_index: int) -> bool:
+        """Could ``user_key`` have versions in blocks after ``block_index``?"""
+        last_key = self._index_entries[block_index][0]
+        return unpack_internal_key(last_key).user_key <= user_key
+
+    def __iter__(self) -> Iterator[tuple[InternalKey, bytes]]:
+        for block_index in range(len(self._index_entries)):
+            block = self.read_data_block(block_index)
+            for ikey_bytes, value in block:
+                yield unpack_internal_key(ikey_bytes), value
+
+    def iterate_from(self, internal_key: bytes,
+                     category: Category = Category.DATA
+                     ) -> Iterator[tuple[InternalKey, bytes]]:
+        """Entries with internal key >= ``internal_key``, in order."""
+        start = self._block_index_for(internal_key)
+        if start is None:
+            return
+        block = self.read_data_block(start, category)
+        for ikey_bytes, value in block.seek(internal_key):
+            yield unpack_internal_key(ikey_bytes), value
+        for block_index in range(start + 1, len(self._index_entries)):
+            block = self.read_data_block(block_index, category)
+            for ikey_bytes, value in block:
+                yield unpack_internal_key(ikey_bytes), value

@@ -1,0 +1,60 @@
+"""Table cache: open SSTable readers, kept memory-resident.
+
+The paper sets ``max_open_files`` to 30000 "so that most of the bloom
+filters and other metadata can reside in memory".  This cache reproduces
+that configuration: every opened table stays cached (with an optional
+bound), so index blocks, bloom filters and zone maps are read from disk
+once per file lifetime and consulted for free afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.lsm.cache import LRUCache
+from repro.lsm.manifest import table_file_name
+from repro.lsm.options import Options
+from repro.lsm.sstable import SSTable
+from repro.lsm.vfs import VFS
+
+
+class TableCache:
+    """Maps file numbers to opened :class:`~repro.lsm.sstable.SSTable`."""
+
+    def __init__(self, vfs: VFS, db_name: str, options: Options,
+                 max_open_files: int = 30000) -> None:
+        self.vfs = vfs
+        self.db_name = db_name
+        self.options = options
+        self.max_open_files = max_open_files
+        self._tables: OrderedDict[int, SSTable] = OrderedDict()
+        self.block_cache: LRUCache | None = None
+        if options.block_cache_size > 0:
+            self.block_cache = LRUCache(options.block_cache_size)
+
+    def get(self, file_number: int) -> SSTable:
+        table = self._tables.get(file_number)
+        if table is not None:
+            self._tables.move_to_end(file_number)
+            return table
+        handle = self.vfs.open_random(table_file_name(self.db_name, file_number))
+        table = SSTable(self.options, handle, file_number)
+        table._block_cache = self.block_cache
+        self._tables[file_number] = table
+        while len(self._tables) > self.max_open_files:
+            _number, evicted = self._tables.popitem(last=False)
+            evicted.file.close()
+        return table
+
+    def evict(self, file_number: int) -> None:
+        table = self._tables.pop(file_number, None)
+        if table is not None:
+            table.file.close()
+
+    def close(self) -> None:
+        for table in self._tables.values():
+            table.file.close()
+        self._tables.clear()
+
+    def __len__(self) -> int:
+        return len(self._tables)

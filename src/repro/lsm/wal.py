@@ -1,0 +1,139 @@
+"""Write-ahead log, in LevelDB's record format.
+
+The log is a sequence of 32 KiB blocks.  A record never spans a block
+boundary in one piece: it is split into FULL or FIRST/MIDDLE.../LAST
+fragments, each carrying its own CRC so torn writes at the tail are detected
+and recovery stops cleanly at the last complete record::
+
+    fragment := crc32 (4, LE) | length (2, LE) | type (1) | payload
+
+Payloads here are serialized write batches (see :mod:`repro.lsm.db`); the
+WAL itself is payload-agnostic.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator
+
+from repro.lsm.errors import CorruptionError
+from repro.lsm.vfs import Category, RandomAccessFile, WritableFile
+
+BLOCK_SIZE = 32 * 1024
+_HEADER = struct.Struct("<IHB")
+HEADER_SIZE = _HEADER.size
+
+_FULL = 1
+_FIRST = 2
+_MIDDLE = 3
+_LAST = 4
+
+
+class LogWriter:
+    """Appends records to a WAL file."""
+
+    def __init__(self, file: WritableFile, sync: bool = False) -> None:
+        self._file = file
+        self._sync = sync
+        self._block_offset = file.size % BLOCK_SIZE
+
+    def add_record(self, payload: bytes) -> None:
+        remaining = payload
+        first_fragment = True
+        while True:
+            leftover = BLOCK_SIZE - self._block_offset
+            if leftover < HEADER_SIZE:
+                # Pad the block tail; a header can't fit.
+                if leftover:
+                    self._file.append(b"\x00" * leftover, Category.WAL)
+                self._block_offset = 0
+                leftover = BLOCK_SIZE
+            available = leftover - HEADER_SIZE
+            fragment, remaining = remaining[:available], remaining[available:]
+            if first_fragment and not remaining:
+                record_type = _FULL
+            elif first_fragment:
+                record_type = _FIRST
+            elif not remaining:
+                record_type = _LAST
+            else:
+                record_type = _MIDDLE
+            self._emit(record_type, fragment)
+            first_fragment = False
+            if not remaining:
+                break
+        if self._sync:
+            self._file.sync()
+
+    def _emit(self, record_type: int, fragment: bytes) -> None:
+        crc = zlib.crc32(bytes([record_type]) + fragment) & 0xFFFFFFFF
+        header = _HEADER.pack(crc, len(fragment), record_type)
+        self._file.append(header + fragment, Category.WAL)
+        self._block_offset += HEADER_SIZE + len(fragment)
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class LogReader:
+    """Replays records from a WAL file.
+
+    Recovery semantics match LevelDB's default: a checksum mismatch or a
+    truncated fragment at the tail ends iteration silently (the tail was a
+    torn write); a mismatch in the middle raises
+    :class:`~repro.lsm.errors.CorruptionError`.
+    """
+
+    def __init__(self, file: RandomAccessFile) -> None:
+        self._data = file.read_at(0, file.size, Category.WAL)
+
+    def __iter__(self) -> Iterator[bytes]:
+        offset = 0
+        pending: bytearray | None = None
+        data = self._data
+        end = len(data)
+        while offset < end:
+            block_left = BLOCK_SIZE - (offset % BLOCK_SIZE)
+            if block_left < HEADER_SIZE:
+                offset += block_left  # block-tail padding
+                continue
+            if offset + HEADER_SIZE > end:
+                return  # torn header at tail
+            crc, length, record_type = _HEADER.unpack_from(data, offset)
+            if record_type == 0 and length == 0 and crc == 0:
+                # Zero padding (pre-allocated or zero-filled region).
+                offset += block_left
+                continue
+            frag_start = offset + HEADER_SIZE
+            frag_end = frag_start + length
+            if frag_end > end:
+                return  # torn payload at tail
+            fragment = data[frag_start:frag_end]
+            actual = zlib.crc32(bytes([record_type]) + fragment) & 0xFFFFFFFF
+            if actual != crc:
+                if frag_end >= end:
+                    return  # torn write at tail
+                raise CorruptionError(
+                    f"WAL checksum mismatch at offset {offset}")
+            offset = frag_end
+            if record_type == _FULL:
+                if pending is not None:
+                    raise CorruptionError("FULL record inside fragmented record")
+                yield bytes(fragment)
+            elif record_type == _FIRST:
+                if pending is not None:
+                    raise CorruptionError("FIRST record inside fragmented record")
+                pending = bytearray(fragment)
+            elif record_type == _MIDDLE:
+                if pending is None:
+                    raise CorruptionError("MIDDLE record without FIRST")
+                pending += fragment
+            elif record_type == _LAST:
+                if pending is None:
+                    raise CorruptionError("LAST record without FIRST")
+                pending += fragment
+                yield bytes(pending)
+                pending = None
+            else:
+                raise CorruptionError(f"unknown WAL record type {record_type}")

@@ -1,0 +1,110 @@
+"""Maintenance CLI: inspect, dump, and verify on-disk databases.
+
+Mirrors LevelDB's ``ldb``/``leveldbutil`` utilities::
+
+    python -m repro stats  <directory> <db-name>
+    python -m repro dump   <directory> <db-name> [--limit N]
+    python -m repro verify <directory> <db-name>
+
+``directory`` is a :class:`~repro.lsm.vfs.LocalVFS` root (where the
+database's files live); ``db-name`` is the name it was opened under —
+``data/primary`` for the primary table of a
+:class:`~repro.core.database.SecondaryIndexedDB` opened as ``"data"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO
+
+from repro.lsm.checker import verify_integrity
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.lsm.vfs import LocalVFS
+
+
+def _open(directory: str, name: str, options: Options | None = None) -> DB:
+    return DB.open(LocalVFS(directory), name, options or Options())
+
+
+def cmd_stats(directory: str, name: str, out: IO[str]) -> int:
+    """Level shapes, file counts, sizes, sequence numbers."""
+    db = _open(directory, name)
+    try:
+        version = db.versions.current
+        out.write(f"database:        {name}\n")
+        out.write(f"last sequence:   {db.versions.last_sequence}\n")
+        out.write(f"next file:       {db.versions.next_file_number}\n")
+        out.write(f"total size:      {db.approximate_size():,} bytes\n")
+        out.write(f"memtable:        {len(db.memtable)} entries, "
+                  f"{db.memtable.approximate_memory_usage:,} bytes\n")
+        out.write("levels:\n")
+        for level, files in enumerate(version.levels):
+            if not files:
+                continue
+            size = version.level_size(level)
+            entries = sum(meta.num_entries for meta in files)
+            out.write(f"  L{level}: {len(files):3d} files  "
+                      f"{size:>10,} bytes  {entries:>8,} entries\n")
+        return 0
+    finally:
+        db.close()
+
+
+def cmd_dump(directory: str, name: str, out: IO[str],
+             limit: int | None = None) -> int:
+    """Print visible key/value pairs in key order."""
+    db = _open(directory, name)
+    try:
+        printed = 0
+        for key, value in db.scan():
+            out.write(f"{key!r} => {value[:80]!r}"
+                      f"{' ...' if len(value) > 80 else ''}\n")
+            printed += 1
+            if limit is not None and printed >= limit:
+                out.write(f"... (stopped at --limit {limit})\n")
+                break
+        out.write(f"{printed} entries\n")
+        return 0
+    finally:
+        db.close()
+
+
+def cmd_verify(directory: str, name: str, out: IO[str]) -> int:
+    """Run the integrity checker; exit status 1 on any finding."""
+    db = _open(directory, name)
+    try:
+        report = verify_integrity(db)
+        out.write(f"tables:  {report.tables_checked}\n")
+        out.write(f"blocks:  {report.blocks_checked}\n")
+        out.write(f"entries: {report.entries_checked}\n")
+        if report.ok:
+            out.write("OK\n")
+            return 0
+        for problem in report.problems:
+            out.write(f"PROBLEM: {problem}\n")
+        return 1
+    finally:
+        db.close()
+
+
+def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Inspect and verify LevelDB++ databases.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for command in ("stats", "dump", "verify"):
+        sub = subparsers.add_parser(command)
+        sub.add_argument("directory", help="LocalVFS root directory")
+        sub.add_argument("name", help="database name within the directory")
+        if command == "dump":
+            sub.add_argument("--limit", type=int, default=None,
+                             help="stop after N entries")
+    args = parser.parse_args(argv)
+    if args.command == "stats":
+        return cmd_stats(args.directory, args.name, out)
+    if args.command == "dump":
+        return cmd_dump(args.directory, args.name, out, args.limit)
+    return cmd_verify(args.directory, args.name, out)

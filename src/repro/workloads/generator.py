@@ -1,0 +1,183 @@
+"""Static and Mixed operation workloads (paper Section 5.1, Table 7).
+
+*Static* workloads "first do all the insertions, build the indexes and then
+perform queries on the static data", isolating the cost of each operation
+type.  *Mixed* workloads interleave "continuous data arrivals ... with
+queries on primary and secondary attributes simulating real workloads",
+with the operation-frequency ratios of Table 7(b)::
+
+    write heavy:   80% PUT   15% GET   5% LOOKUP    0% update
+    read heavy:    20% PUT   70% GET  10% LOOKUP    0% update
+    update heavy:  40% PUT   15% GET   5% LOOKUP   40% update
+
+(an *update* is a PUT that reuses an existing primary key).
+
+Query parameters follow the data distribution: LOOKUP values are drawn from
+the same Zipf user distribution the tweets were generated with, and
+RANGELOOKUP ranges are expressed in the paper's units — a width in *users*
+for the UserID index and in *minutes* for the CreationTime index.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.records import Document
+from repro.workloads.ops import (
+    Delete,
+    Get,
+    Lookup,
+    Operation,
+    Put,
+    RangeLookup,
+)
+from repro.workloads.tweets import SeedProfile, TweetGenerator
+
+#: Table 7(b): operation-frequency ratios of the three Mixed workloads.
+MIXED_RATIOS: dict[str, dict[str, float]] = {
+    "write_heavy": {"put": 0.80, "get": 0.15, "lookup": 0.05, "update": 0.00},
+    "read_heavy": {"put": 0.20, "get": 0.70, "lookup": 0.10, "update": 0.00},
+    "update_heavy": {"put": 0.40, "get": 0.15, "lookup": 0.05, "update": 0.40},
+}
+
+
+@dataclass
+class StaticWorkload:
+    """Build-then-query workload over a fixed synthetic tweet set."""
+
+    num_tweets: int = 10_000
+    profile: SeedProfile = field(default_factory=SeedProfile)
+    seed: int = 2018
+
+    def __post_init__(self) -> None:
+        generator = TweetGenerator(self.profile, self.seed)
+        self.tweets: list[tuple[str, Document]] = list(
+            generator.tweets(self.num_tweets))
+        self._rng = random.Random(self.seed ^ 0xC0FFEE)
+        self._times = [doc["CreationTime"] for _key, doc in self.tweets]
+
+    # -- load phase --------------------------------------------------------------
+
+    def load_phase(self) -> Iterator[Put]:
+        """All insertions, in arrival order."""
+        for key, document in self.tweets:
+            yield Put(key, document)
+
+    # -- query phases ---------------------------------------------------------
+
+    def gets(self, count: int) -> Iterator[Get]:
+        """GETs on uniformly sampled existing primary keys."""
+        for _ in range(count):
+            key, _document = self._rng.choice(self.tweets)
+            yield Get(key)
+
+    def lookups(self, count: int, attribute: str = "UserID",
+                k: int | None = 10) -> Iterator[Lookup]:
+        """LOOKUPs whose values follow the dataset's value distribution.
+
+        Sampling a random tweet's attribute value weights each value by its
+        frequency, exactly as querying "based on the distribution of values
+        in the input tweets dataset" prescribes.
+        """
+        for _ in range(count):
+            _key, document = self._rng.choice(self.tweets)
+            yield Lookup(attribute, document[attribute], k)
+
+    def user_range_lookups(self, count: int, selectivity_users: int,
+                           k: int | None = 10) -> Iterator[RangeLookup]:
+        """UserID ranges covering ``selectivity_users`` adjacent user ids."""
+        max_start = max(0, self.profile.num_users - selectivity_users)
+        for _ in range(count):
+            start = self._rng.randint(0, max_start)
+            low = f"u{start:05d}"
+            high = f"u{start + selectivity_users - 1:05d}"
+            yield RangeLookup("UserID", low, high, k)
+
+    def time_range_lookups(self, count: int, selectivity_minutes: float,
+                           k: int | None = 10) -> Iterator[RangeLookup]:
+        """CreationTime windows ``selectivity_minutes`` long."""
+        window = int(selectivity_minutes * 60)
+        lo_bound = min(self._times)
+        hi_bound = max(self._times)
+        max_start = max(lo_bound, hi_bound - window)
+        for _ in range(count):
+            start = self._rng.randint(lo_bound, max_start)
+            yield RangeLookup("CreationTime", start, start + window, k)
+
+
+@dataclass
+class MixedWorkload:
+    """Interleaved stream of PUT/GET/LOOKUP/update (and optional DEL) ops.
+
+    A ``delete`` ratio adds Table 1's DEL operations (targeting existing
+    keys); the paper's Table 7(b) mixes use none, but DELs exercise the
+    stand-alone indexes' read-before-delete maintenance path.
+    """
+
+    num_operations: int = 10_000
+    ratios: dict[str, float] = field(
+        default_factory=lambda: dict(MIXED_RATIOS["write_heavy"]))
+    lookup_attribute: str = "UserID"
+    lookup_k: int | None = 5
+    profile: SeedProfile = field(default_factory=SeedProfile)
+    seed: int = 2018
+
+    def __post_init__(self) -> None:
+        total = sum(self.ratios.get(name, 0.0)
+                    for name in ("put", "get", "lookup", "update",
+                                 "delete"))
+        if not 0.99 <= total <= 1.01:
+            raise ValueError(f"ratios must sum to 1, got {total:.3f}")
+
+    def operations(self) -> Iterator[Operation]:
+        """The operation stream, deterministically seeded.
+
+        GETs and updates target keys inserted earlier in the same stream;
+        LOOKUP values are drawn from the generator's user distribution so
+        hot users are queried proportionally more often, as in the paper.
+        """
+        generator = TweetGenerator(self.profile, self.seed)
+        rng = random.Random(self.seed ^ 0xBEEF)
+        inserted: list[str] = []
+        seen_values: list[object] = []
+
+        def remember(document: Document) -> None:
+            value = document.get(self.lookup_attribute)
+            if value is not None:
+                seen_values.append(value)
+
+        # Prime the store with a handful of tweets so early GETs/updates
+        # have targets.
+        for _ in range(min(16, self.num_operations)):
+            key, document = generator.next_tweet()
+            inserted.append(key)
+            remember(document)
+            yield Put(key, document)
+        put_cut = self.ratios.get("put", 0.0)
+        get_cut = put_cut + self.ratios.get("get", 0.0)
+        lookup_cut = get_cut + self.ratios.get("lookup", 0.0)
+        update_cut = lookup_cut + self.ratios.get("update", 0.0)
+        for _ in range(self.num_operations - len(inserted)):
+            roll = rng.random()
+            if roll < put_cut:
+                key, document = generator.next_tweet()
+                inserted.append(key)
+                remember(document)
+                yield Put(key, document)
+            elif roll < get_cut:
+                yield Get(rng.choice(inserted))
+            elif roll < lookup_cut:
+                # Sampling a seen value weights hot values proportionally,
+                # matching the paper's distribution-driven conditions.
+                yield Lookup(self.lookup_attribute,
+                             rng.choice(seen_values), self.lookup_k)
+            elif roll < update_cut:
+                # Update: re-PUT an existing key with fresh attributes.
+                key = rng.choice(inserted)
+                _new_key, document = generator.next_tweet()
+                remember(document)
+                yield Put(key, document, is_update=True)
+            else:
+                yield Delete(rng.choice(inserted))

@@ -1,0 +1,63 @@
+"""Operation records emitted by the workload generators (paper Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.core.records import Document
+
+
+@dataclass(frozen=True)
+class Put:
+    """PUT(k, v); ``is_update`` marks re-insertion of an existing key."""
+
+    key: str
+    document: Document
+    is_update: bool = False
+
+    op_name = "put"
+
+
+@dataclass(frozen=True)
+class Get:
+    """GET(k)."""
+
+    key: str
+
+    op_name = "get"
+
+
+@dataclass(frozen=True)
+class Delete:
+    """DEL(k)."""
+
+    key: str
+
+    op_name = "delete"
+
+
+@dataclass(frozen=True)
+class Lookup:
+    """LOOKUP(A, a, K); ``k=None`` is the paper's "no limit"."""
+
+    attribute: str
+    value: Any
+    k: int | None
+
+    op_name = "lookup"
+
+
+@dataclass(frozen=True)
+class RangeLookup:
+    """RANGELOOKUP(A, a, b, K)."""
+
+    attribute: str
+    low: Any
+    high: Any
+    k: int | None
+
+    op_name = "range_lookup"
+
+
+Operation = Union[Put, Get, Delete, Lookup, RangeLookup]

@@ -1,0 +1,132 @@
+"""Synthetic tweet generator modelled on the paper's seed dataset.
+
+The paper collected 8 million geotagged NY tweets over three weeks and then
+*synthesised* arbitrarily large datasets from that seed, preserving its
+attribute-value distributions (Section 5.1).  The relevant seed statistics
+they report:
+
+* UserID rank-frequency follows a power law (Figure 7) with an average of
+  30 tweets per user;
+* tweets arrive at ~35 tweets/second on average, with the synthetic
+  generator drawing per-second rates from ``Uniform(0, 2 * avg)`` — which
+  makes **CreationTime time-correlated** (monotone in insertion order);
+* tweet bodies average ~550 bytes.
+
+:class:`SeedProfile` captures those statistics; :class:`TweetGenerator`
+draws synthetic tweets from them deterministically (seeded RNG).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+import string
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.records import Document
+
+
+@dataclass(frozen=True)
+class SeedProfile:
+    """Distribution parameters distilled from the paper's seed dataset.
+
+    ``zipf_exponent`` shapes the UserID rank-frequency curve; 1.0 gives the
+    classic straight line on the paper's log-log Figure 7.  ``body_length``
+    parameters mimic the role of the ~550-byte tweet bodies: they pad each
+    record so a realistic number of records fits per data block ("to make
+    the experiments more realistic, in terms of number of records that can
+    fit in a primary table block").
+    """
+
+    num_users: int = 1000
+    zipf_exponent: float = 1.0
+    avg_tweets_per_second: float = 35.0
+    body_length_min: int = 40
+    body_length_max: int = 160
+    start_timestamp: int = 1_500_000_000  # epoch seconds, paper-era
+
+    def user_weights(self) -> list[float]:
+        """Unnormalised Zipf weights per user rank (rank 1 = heaviest)."""
+        return [1.0 / (rank ** self.zipf_exponent)
+                for rank in range(1, self.num_users + 1)]
+
+
+class TweetGenerator:
+    """Deterministic stream of synthetic tweets.
+
+    Each tweet is a document shaped like the paper's worked examples::
+
+        {"UserID": "u0042", "CreationTime": 1500000123, "Body": "..."}
+
+    keyed by a monotonically increasing TweetID — which, like the real
+    thing, makes the primary key itself time-correlated.
+    """
+
+    def __init__(self, profile: SeedProfile | None = None,
+                 seed: int = 2018) -> None:
+        self.profile = profile or SeedProfile()
+        self._rng = random.Random(seed)
+        weights = self.profile.user_weights()
+        self._cumulative: list[float] = []
+        total = 0.0
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+        self._total_weight = total
+        self._next_id = 0
+        self._clock = float(self.profile.start_timestamp)
+        self._second_budget = self._draw_rate()
+
+    def _draw_rate(self) -> float:
+        """Tweets emitted in the current second: ``Uniform(0, 2 * avg)``."""
+        return self._rng.uniform(0.0, 2.0 * self.profile.avg_tweets_per_second)
+
+    def _draw_user(self) -> str:
+        point = self._rng.random() * self._total_weight
+        rank = bisect.bisect_left(self._cumulative, point)
+        return f"u{rank:05d}"
+
+    def _draw_body(self) -> str:
+        length = self._rng.randint(self.profile.body_length_min,
+                                   self.profile.body_length_max)
+        return "".join(self._rng.choices(string.ascii_lowercase + " ",
+                                         k=length))
+
+    def _advance_clock(self) -> int:
+        self._second_budget -= 1.0
+        while self._second_budget <= 0.0:
+            self._clock += 1.0
+            self._second_budget += self._draw_rate()
+        return int(self._clock)
+
+    def next_tweet(self) -> tuple[str, Document]:
+        """One ``(tweet_id, document)`` pair; ids and times are monotone."""
+        tweet_id = f"t{self._next_id:010d}"
+        self._next_id += 1
+        document = {
+            "UserID": self._draw_user(),
+            "CreationTime": self._advance_clock(),
+            "Body": self._draw_body(),
+        }
+        return tweet_id, document
+
+    def tweets(self, count: int) -> Iterator[tuple[str, Document]]:
+        for _ in range(count):
+            yield self.next_tweet()
+
+    def existing_ids(self) -> int:
+        """How many tweet ids have been handed out so far."""
+        return self._next_id
+
+
+def rank_frequency(documents: list[Document],
+                   attribute: str = "UserID") -> list[tuple[int, int]]:
+    """Figure 7's data: ``(rank, frequency)`` pairs, rank 1 = most frequent."""
+    counts: dict[object, int] = {}
+    for document in documents:
+        value = document.get(attribute)
+        if value is not None:
+            counts[value] = counts.get(value, 0) + 1
+    ordered = sorted(counts.values(), reverse=True)
+    return [(rank + 1, frequency) for rank, frequency in enumerate(ordered)]

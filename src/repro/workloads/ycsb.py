@@ -1,0 +1,173 @@
+"""YCSB-style workloads (Cooper et al., SoCC 2010 — the paper's [6]).
+
+The paper built its own generator because "there is no workload generator
+which allows fine-grained control of the ratio of queries on primary to
+secondary attributes" — YCSB only exercises primary-key operations.  This
+module provides the standard YCSB core workloads anyway, for two reasons:
+they are the lingua franca for key-value store comparisons, and they stress
+exactly the paths (zipfian re-reads, read-modify-write, short scans) that
+the Twitter workloads do not.
+
+Core workload definitions (from the YCSB distribution):
+
+========  =========================================  =====================
+Workload  Mix                                        Distribution
+========  =========================================  =====================
+A         50% read / 50% update                      zipfian
+B         95% read / 5% update                       zipfian
+C         100% read                                  zipfian
+D         95% read / 5% insert                       latest
+E         95% scan / 5% insert                       zipfian (+uniform len)
+F         50% read / 50% read-modify-write           zipfian
+========  =========================================  =====================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.records import Document
+from repro.workloads.ops import Get, Operation, Put, RangeLookup
+
+#: The YCSB core mixes: fractions of read / update / insert / scan / rmw.
+CORE_WORKLOADS: dict[str, dict[str, float]] = {
+    "A": {"read": 0.5, "update": 0.5},
+    "B": {"read": 0.95, "update": 0.05},
+    "C": {"read": 1.0},
+    "D": {"read": 0.95, "insert": 0.05},
+    "E": {"scan": 0.95, "insert": 0.05},
+    "F": {"read": 0.5, "rmw": 0.5},
+}
+
+_MAX_SCAN_LENGTH = 100
+
+
+class ZipfianGenerator:
+    """YCSB's zipfian item chooser over ``[0, n)`` (exponent ~0.99).
+
+    Uses the same cumulative-weights approach as the tweet generator;
+    ``n`` may grow as records are inserted (D/E's "latest" behaviour is
+    provided separately).
+    """
+
+    def __init__(self, n: int, theta: float = 0.99,
+                 rng: random.Random | None = None) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self._rng = rng or random.Random(0)
+        self._theta = theta
+        self._cumulative: list[float] = []
+        self._n = 0
+        self.grow(n)
+
+    def grow(self, n: int) -> None:
+        """Extend the domain to ``[0, n)``."""
+        total = self._cumulative[-1] if self._cumulative else 0.0
+        for rank in range(self._n + 1, n + 1):
+            total += 1.0 / (rank ** self._theta)
+            self._cumulative.append(total)
+        self._n = n
+
+    def next(self) -> int:
+        import bisect
+
+        point = self._rng.random() * self._cumulative[-1]
+        return bisect.bisect_left(self._cumulative, point)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+
+@dataclass
+class YCSBWorkload:
+    """One YCSB core workload over ``record_count`` preloaded records.
+
+    ``operations()`` yields the load phase (inserts) followed by
+    ``operation_count`` transactions.  Scans are expressed as primary-key
+    RANGELOOKUPs via a reserved ``_key`` attribute each document carries,
+    so they run through the same public query API as everything else.
+    """
+
+    workload: str = "A"
+    record_count: int = 1000
+    operation_count: int = 3000
+    field_length: int = 64
+    seed: int = 0
+    #: Filled during iteration: how many of each op type were produced.
+    produced: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.workload not in CORE_WORKLOADS:
+            raise ValueError(
+                f"unknown YCSB workload {self.workload!r}; "
+                f"choose from {sorted(CORE_WORKLOADS)}")
+
+    @staticmethod
+    def key_of(item: int) -> str:
+        return f"user{item:012d}"
+
+    def _document(self, rng: random.Random, key: str) -> Document:
+        return {
+            "_key": key,  # mirrors the primary key so scans can range on it
+            "field0": "".join(rng.choices("abcdefghij",
+                                          k=self.field_length)),
+        }
+
+    def operations(self) -> Iterator[Operation]:
+        rng = random.Random(self.seed ^ 0x5CB)
+        mix = CORE_WORKLOADS[self.workload]
+        inserted = self.record_count
+        zipf = ZipfianGenerator(inserted, rng=random.Random(self.seed))
+
+        def count(name: str) -> None:
+            self.produced[name] = self.produced.get(name, 0) + 1
+
+        for item in range(self.record_count):
+            key = self.key_of(item)
+            count("load")
+            yield Put(key, self._document(rng, key))
+
+        cuts = []
+        acc = 0.0
+        for name, fraction in mix.items():
+            acc += fraction
+            cuts.append((acc, name))
+        for _ in range(self.operation_count):
+            roll = rng.random()
+            op_name = next(name for cut, name in cuts if roll <= cut)
+            if op_name == "read":
+                count("read")
+                yield Get(self.key_of(self._choose(rng, zipf, inserted)))
+            elif op_name == "update":
+                count("update")
+                key = self.key_of(self._choose(rng, zipf, inserted))
+                yield Put(key, self._document(rng, key), is_update=True)
+            elif op_name == "insert":
+                count("insert")
+                key = self.key_of(inserted)
+                inserted += 1
+                zipf.grow(inserted)
+                yield Put(key, self._document(rng, key))
+            elif op_name == "scan":
+                count("scan")
+                start = self._choose(rng, zipf, inserted)
+                length = rng.randint(1, _MAX_SCAN_LENGTH)
+                yield RangeLookup("_key", self.key_of(start),
+                                  self.key_of(start + length), None)
+            else:  # read-modify-write
+                count("rmw")
+                key = self.key_of(self._choose(rng, zipf, inserted))
+                yield Get(key)
+                yield Put(key, self._document(rng, key), is_update=True)
+
+    def _choose(self, rng: random.Random, zipf: ZipfianGenerator,
+                inserted: int) -> int:
+        """Item choice: zipfian over all items; workload D prefers the
+        most recent inserts ("latest" distribution)."""
+        if self.workload == "D":
+            # Latest: zipfian over recency rank.
+            return max(0, inserted - 1 - zipf.next())
+        return min(zipf.next(), inserted - 1)

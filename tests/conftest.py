@@ -1,0 +1,47 @@
+"""Shared fixtures: small engine geometries that force multi-level trees.
+
+The default Options are scaled for realistic datasets; tests shrink every
+budget further so that a few thousand writes already exercise flushes,
+level-0 pileups and multi-level compactions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lsm.options import Options
+from repro.lsm.vfs import MemoryVFS
+
+
+@pytest.fixture
+def tiny_options() -> Options:
+    """Geometry that produces several levels within ~1000 small records."""
+    return Options(
+        block_size=1024,
+        sstable_target_size=4 * 1024,
+        memtable_budget=4 * 1024,
+        l1_target_size=16 * 1024,
+        l0_compaction_trigger=4,
+        max_levels=7,
+    )
+
+
+@pytest.fixture
+def small_options() -> Options:
+    """A slightly roomier geometry for workload-level tests."""
+    return Options(
+        block_size=2048,
+        sstable_target_size=8 * 1024,
+        memtable_budget=8 * 1024,
+        l1_target_size=32 * 1024,
+    )
+
+
+@pytest.fixture
+def vfs() -> MemoryVFS:
+    return MemoryVFS()
+
+
+def make_doc(user: int, ts: int, pad: int = 30) -> dict:
+    """A tweet-shaped document."""
+    return {"UserID": f"u{user:05d}", "CreationTime": ts, "Body": "x" * pad}

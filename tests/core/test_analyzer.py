@@ -1,0 +1,118 @@
+"""Trace analysis -> workload profile -> Figure 2 recommendation."""
+
+import pytest
+
+from repro.core.analyzer import (
+    analyze_trace,
+    spearman_rank_correlation,
+    summarize_trace,
+)
+from repro.core.base import IndexKind
+from repro.core.selector import IndexSelector
+from repro.workloads.generator import MIXED_RATIOS, MixedWorkload
+from repro.workloads.ops import Delete, Get, Lookup, Put, RangeLookup
+from repro.workloads.tweets import SeedProfile
+
+
+class TestSpearman:
+    def test_monotone_is_one(self):
+        assert spearman_rank_correlation(list(range(50))) == \
+            pytest.approx(1.0)
+
+    def test_reversed_is_minus_one(self):
+        assert spearman_rank_correlation(list(range(50, 0, -1))) == \
+            pytest.approx(-1.0)
+
+    def test_shuffled_is_near_zero(self):
+        import random
+
+        values = list(range(500))
+        random.Random(3).shuffle(values)
+        assert abs(spearman_rank_correlation(values)) < 0.2
+
+    def test_ties_handled(self):
+        rho = spearman_rank_correlation([1, 1, 2, 2, 3, 3])
+        assert rho == pytest.approx(1.0, abs=0.1)
+
+    def test_constant_is_zero(self):
+        assert spearman_rank_correlation([5, 5, 5, 5]) == 0.0
+
+    def test_degenerate_inputs(self):
+        assert spearman_rank_correlation([]) == 0.0
+        assert spearman_rank_correlation([1]) == 0.0
+
+
+class TestSummaries:
+    def _trace(self):
+        return [
+            Put("k1", {"ts": 1}),
+            Put("k2", {"ts": 2}),
+            Put("k3", {"ts": 3}),
+            Get("k1"),
+            Delete("k2"),
+            Lookup("ts", 2, 5),
+            Lookup("ts", 3, None),
+            Lookup("other", 9, 1),  # different attribute: ignored
+            RangeLookup("ts", 1, 3, 7),
+        ]
+
+    def test_counts(self):
+        summary = summarize_trace(self._trace(), "ts")
+        assert summary.puts == 3
+        assert summary.gets == 1
+        assert summary.deletes == 1
+        assert summary.lookups == 2
+        assert summary.range_lookups == 1
+        assert summary.top_ks == (5, 7)
+        assert summary.unlimited_top_k == 1
+
+    def test_time_correlation_detected(self):
+        summary = summarize_trace(self._trace(), "ts")
+        assert summary.time_correlation == pytest.approx(1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_trace([], "ts")
+
+
+class TestEndToEndRecommendations:
+    def test_time_correlated_trace_recommends_embedded(self):
+        trace = [Put(f"k{i}", {"ts": i}) for i in range(100)]
+        trace += [Lookup("ts", i, 5) for i in range(10)]
+        profile = analyze_trace(trace, "ts")
+        assert profile.time_correlated
+        rec = IndexSelector().recommend(profile)
+        assert rec.kind == IndexKind.EMBEDDED
+
+    def test_shuffled_small_k_trace_recommends_lazy(self):
+        import random
+
+        rng = random.Random(5)
+        users = [f"u{rng.randrange(50):03d}" for _ in range(300)]
+        trace = [Put(f"k{i}", {"UserID": user})
+                 for i, user in enumerate(users)]
+        trace += [Get(f"k{i}") for i in range(400)]
+        trace += [Lookup("UserID", "u001", 5) for _ in range(100)]
+        profile = analyze_trace(trace, "UserID")
+        assert not profile.time_correlated
+        assert profile.typical_top_k == 5
+        rec = IndexSelector().recommend(profile)
+        assert rec.kind == IndexKind.LAZY
+
+    def test_unlimited_k_trace_recommends_composite(self):
+        trace = [Put(f"k{i}", {"UserID": f"u{i % 9}"}) for i in range(100)]
+        trace += [Lookup("UserID", "u1", None) for _ in range(60)]
+        profile = analyze_trace(trace, "UserID")
+        assert profile.typical_top_k is None
+        rec = IndexSelector().recommend(profile)
+        assert rec.kind == IndexKind.COMPOSITE
+
+    def test_mixed_workload_trace_roundtrip(self):
+        """Generator ratios survive the analysis round-trip."""
+        workload = MixedWorkload(
+            num_operations=3000, ratios=MIXED_RATIOS["read_heavy"],
+            profile=SeedProfile(num_users=40), seed=8)
+        profile = analyze_trace(workload.operations(), "UserID")
+        assert profile.get_fraction == pytest.approx(0.70, abs=0.03)
+        assert profile.lookup_fraction == pytest.approx(0.10, abs=0.02)
+        assert not profile.time_correlated  # UserID is shuffled

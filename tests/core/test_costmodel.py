@@ -1,0 +1,97 @@
+"""The Tables 3/5 analytic cost model."""
+
+import math
+
+import pytest
+
+from repro.core.base import IndexKind
+from repro.core.costmodel import CostModel
+
+
+@pytest.fixture
+def model():
+    return CostModel(levels=4, level_ratio=10, level0_blocks=100,
+                     bloom_bits_per_key=100, avg_posting_list_length=30,
+                     num_indexed_attributes=2)
+
+
+class TestWAMF:
+    def test_paper_numbers(self, model):
+        """Section 5.2.1: WAMF_lazy = WAMF_composite = 22*(4-1) = 66;
+        WAMF_eager = 30 * 22 * (4-1) = 1980 (per unit; the paper scales by
+        PL_S for each of two indexes)."""
+        assert model.wamf(IndexKind.LAZY) == 22 * 3
+        assert model.wamf(IndexKind.COMPOSITE) == 22 * 3
+        assert model.wamf(IndexKind.EAGER) == 30 * 22 * 3
+
+    def test_embedded_and_noindex_free(self, model):
+        assert model.wamf(IndexKind.EMBEDDED) == 0
+        assert model.wamf(IndexKind.NOINDEX) == 0
+
+    def test_eager_dominates(self, model):
+        assert model.wamf(IndexKind.EAGER) > 10 * model.wamf(IndexKind.LAZY)
+
+
+class TestPutCosts:
+    def test_table5_put_rows(self, model):
+        assert model.put_cost(IndexKind.EAGER) == (2.0, 2.0)  # l=2
+        assert model.put_cost(IndexKind.LAZY) == (0.0, 2.0)
+        assert model.put_cost(IndexKind.COMPOSITE) == (0.0, 2.0)
+        assert model.put_cost(IndexKind.EMBEDDED) == (0.0, 0.0)
+
+    def test_get_uniform(self, model):
+        for kind in IndexKind:
+            assert model.get_cost(kind) == 1.0
+
+
+class TestLookupCosts:
+    def test_eager_single_index_read(self, model):
+        assert model.lookup_cost(IndexKind.EAGER, k_matched=10) == 11.0
+
+    def test_lazy_composite_pay_levels(self, model):
+        assert model.lookup_cost(IndexKind.LAZY, k_matched=10) == 14.0
+        assert model.lookup_cost(IndexKind.COMPOSITE, k_matched=10) == 14.0
+
+    def test_embedded_false_positive_term(self, model):
+        cost = model.lookup_cost(IndexKind.EMBEDDED, k_matched=10)
+        fp = model.false_positive_rate
+        geometric = (10 ** 5 - 1) / 9
+        assert cost == pytest.approx(10 + fp * 100 * geometric)
+
+    def test_embedded_fp_rate_is_equation_1(self, model):
+        assert model.false_positive_rate == \
+            pytest.approx(2 ** (-100 * math.log(2)))
+
+    def test_noindex_lookup_unbounded(self, model):
+        assert model.lookup_cost(IndexKind.NOINDEX, 10) == float("inf")
+
+
+class TestRangeLookupCosts:
+    def test_embedded_time_correlated(self, model):
+        assert model.range_lookup_cost(
+            IndexKind.EMBEDDED, k_matched=10, range_blocks=50,
+            time_correlated=True) == 10.0
+
+    def test_embedded_non_time_correlated_is_full_scan(self, model):
+        assert model.range_lookup_cost(
+            IndexKind.EMBEDDED, 10, 50, time_correlated=False) \
+            == float("inf")
+
+    def test_standalone_pays_m_blocks(self, model):
+        for kind in (IndexKind.EAGER, IndexKind.LAZY, IndexKind.COMPOSITE):
+            assert model.range_lookup_cost(kind, 10, 50) == 60.0
+
+
+class TestWorkloadRanking:
+    def test_write_heavy_favours_embedded(self, model):
+        costs = {kind: model.workload_cost(kind, 0.80, 0.15, 0.05)
+                 for kind in (IndexKind.EMBEDDED, IndexKind.EAGER,
+                              IndexKind.LAZY)}
+        assert costs[IndexKind.EMBEDDED] < costs[IndexKind.LAZY]
+        assert costs[IndexKind.LAZY] < costs[IndexKind.EAGER]
+
+    def test_eager_worst_for_writes(self, model):
+        for mix in [(0.8, 0.15, 0.05), (0.4, 0.55, 0.05)]:
+            eager = model.workload_cost(IndexKind.EAGER, *mix)
+            lazy = model.workload_cost(IndexKind.LAZY, *mix)
+            assert eager > lazy

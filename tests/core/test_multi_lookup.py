@@ -1,0 +1,93 @@
+"""Conjunctive multi-attribute lookups."""
+
+import pytest
+
+from repro.core.base import IndexKind
+from repro.core.database import SecondaryIndexedDB
+from repro.lsm.errors import InvalidArgumentError
+from repro.lsm.options import Options
+
+
+def _db(kinds):
+    options = Options(block_size=1024, sstable_target_size=4 * 1024,
+                      memtable_budget=4 * 1024, l1_target_size=16 * 1024)
+    return SecondaryIndexedDB.open_memory(indexes=kinds, options=options)
+
+
+def _load(db, count=120):
+    state = {}
+    for i in range(count):
+        doc = {"UserID": f"u{i % 4}", "lang": f"l{i % 3}", "n": i}
+        key = f"t{i:04d}"
+        db.put(key, doc)
+        state[key] = doc
+    return state
+
+
+class TestMultiLookup:
+    def test_conjunction_matches_bruteforce(self):
+        db = _db({"UserID": IndexKind.LAZY, "lang": IndexKind.COMPOSITE})
+        state = _load(db)
+        got = {r.key for r in db.multi_lookup(
+            {"UserID": "u1", "lang": "l2"})}
+        want = {key for key, doc in state.items()
+                if doc["UserID"] == "u1" and doc["lang"] == "l2"}
+        assert got == want and want  # non-trivial intersection
+        db.close()
+
+    def test_results_newest_first_and_top_k(self):
+        db = _db({"UserID": IndexKind.LAZY, "lang": IndexKind.LAZY})
+        _load(db)
+        results = db.multi_lookup({"UserID": "u1", "lang": "l2"}, k=2)
+        assert len(results) == 2
+        assert results[0].seq > results[1].seq
+        full = db.multi_lookup({"UserID": "u1", "lang": "l2"})
+        assert [r.key for r in results] == [r.key for r in full[:2]]
+        db.close()
+
+    def test_single_condition_degenerates_to_lookup(self):
+        db = _db({"UserID": IndexKind.COMPOSITE})
+        _load(db)
+        multi = [r.key for r in db.multi_lookup({"UserID": "u2"})]
+        single = [r.key for r in db.lookup("UserID", "u2",
+                                           early_termination=False)]
+        assert multi == single
+        db.close()
+
+    def test_mixed_index_kinds(self):
+        db = _db({"UserID": IndexKind.EMBEDDED, "lang": IndexKind.EAGER})
+        state = _load(db)
+        got = {r.key for r in db.multi_lookup(
+            {"UserID": "u0", "lang": "l0"})}
+        want = {key for key, doc in state.items()
+                if doc["UserID"] == "u0" and doc["lang"] == "l0"}
+        assert got == want
+        db.close()
+
+    def test_disjoint_conditions_empty(self):
+        db = _db({"UserID": IndexKind.LAZY, "n": IndexKind.LAZY})
+        _load(db)
+        assert db.multi_lookup({"UserID": "u1", "n": 0}) == []
+        db.close()
+
+    def test_unindexed_attribute_rejected(self):
+        db = _db({"UserID": IndexKind.LAZY})
+        _load(db, 10)
+        with pytest.raises(InvalidArgumentError):
+            db.multi_lookup({"UserID": "u1", "lang": "l0"})
+        db.close()
+
+    def test_empty_conditions_rejected(self):
+        db = _db({"UserID": IndexKind.LAZY})
+        with pytest.raises(InvalidArgumentError):
+            db.multi_lookup({})
+        db.close()
+
+    def test_respects_updates(self):
+        db = _db({"UserID": IndexKind.LAZY, "lang": IndexKind.LAZY})
+        db.put("t1", {"UserID": "u1", "lang": "fr"})
+        db.put("t1", {"UserID": "u1", "lang": "en"})
+        assert db.multi_lookup({"UserID": "u1", "lang": "fr"}) == []
+        assert [r.key for r in db.multi_lookup(
+            {"UserID": "u1", "lang": "en"})] == ["t1"]
+        db.close()

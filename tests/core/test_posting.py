@@ -1,0 +1,103 @@
+"""Posting-list codec and the Lazy index's merge operator."""
+
+import pytest
+
+from repro.core.posting import (
+    PostingEntry,
+    decode_posting_list,
+    encode_posting_list,
+    merge_fragments,
+    normalize,
+    posting_merge_operator,
+    single_posting_fragment,
+)
+from repro.lsm.errors import CorruptionError
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        entries = [PostingEntry("t2", 9), PostingEntry("t1", 3),
+                   PostingEntry("t0", 1, deleted=True)]
+        assert decode_posting_list(encode_posting_list(entries)) == entries
+
+    def test_empty_list(self):
+        assert decode_posting_list(encode_posting_list([])) == []
+
+    def test_single_fragment_helper(self):
+        fragment = decode_posting_list(single_posting_fragment("t7", 42))
+        assert fragment == [PostingEntry("t7", 42)]
+        marker = decode_posting_list(
+            single_posting_fragment("t7", 43, deleted=True))
+        assert marker == [PostingEntry("t7", 43, deleted=True)]
+
+    def test_bad_json(self):
+        with pytest.raises(CorruptionError):
+            decode_posting_list(b"{not json")
+
+    def test_wrong_shape(self):
+        with pytest.raises(CorruptionError):
+            decode_posting_list(b'{"a": 1}')
+        with pytest.raises(CorruptionError):
+            decode_posting_list(b"[[1]]")
+
+
+class TestNormalize:
+    def test_dedup_newest_wins(self):
+        entries = [PostingEntry("t1", 5), PostingEntry("t1", 9),
+                   PostingEntry("t2", 1)]
+        assert normalize(entries) == [PostingEntry("t1", 9),
+                                      PostingEntry("t2", 1)]
+
+    def test_marker_can_win(self):
+        entries = [PostingEntry("t1", 5),
+                   PostingEntry("t1", 9, deleted=True)]
+        assert normalize(entries) == [PostingEntry("t1", 9, deleted=True)]
+
+    def test_sorted_newest_first(self):
+        entries = [PostingEntry("a", 1), PostingEntry("b", 9),
+                   PostingEntry("c", 5)]
+        assert [e.seq for e in normalize(entries)] == [9, 5, 1]
+
+
+class TestMergeFragments:
+    def test_union(self):
+        merged = merge_fragments([
+            [PostingEntry("t1", 1)],
+            [PostingEntry("t2", 2)],
+        ])
+        assert merged == [PostingEntry("t2", 2), PostingEntry("t1", 1)]
+
+    def test_marker_cancels_older_posting(self):
+        merged = merge_fragments([
+            [PostingEntry("t1", 1)],
+            [PostingEntry("t1", 5, deleted=True)],
+        ])
+        assert merged == [PostingEntry("t1", 5, deleted=True)]
+
+    def test_reinsert_after_marker(self):
+        merged = merge_fragments([
+            [PostingEntry("t1", 5, deleted=True)],
+            [PostingEntry("t1", 9)],
+        ])
+        assert merged == [PostingEntry("t1", 9)]
+
+
+class TestMergeOperator:
+    def test_operator_folds_fragments(self):
+        fragments = [single_posting_fragment("t1", 1),
+                     single_posting_fragment("t2", 2),
+                     single_posting_fragment("t1", 7)]
+        merged = decode_posting_list(
+            posting_merge_operator(b"u1", fragments))
+        assert merged == [PostingEntry("t1", 7), PostingEntry("t2", 2)]
+
+    def test_associativity(self):
+        """Partial merges require (a . b) . c == a . (b . c)."""
+        a = single_posting_fragment("x", 1)
+        b = single_posting_fragment("y", 2, deleted=True)
+        c = single_posting_fragment("x", 3)
+        left = posting_merge_operator(
+            b"k", [posting_merge_operator(b"k", [a, b]), c])
+        right = posting_merge_operator(
+            b"k", [a, posting_merge_operator(b"k", [b, c])])
+        assert left == right

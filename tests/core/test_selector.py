@@ -1,0 +1,89 @@
+"""The Figure 2 index-selection strategy."""
+
+import pytest
+
+from repro.core.base import IndexKind
+from repro.core.selector import (
+    IndexSelector,
+    LOOKUP_RATIO_THRESHOLD,
+    Recommendation,
+    WRITE_RATIO_THRESHOLD,
+    WorkloadProfile,
+)
+
+
+def _profile(**overrides):
+    base = dict(put_fraction=0.3, get_fraction=0.5, lookup_fraction=0.2)
+    base.update(overrides)
+    return WorkloadProfile(**base)
+
+
+class TestProfileValidation:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(put_fraction=0.5, get_fraction=0.5,
+                            lookup_fraction=0.5)
+
+    def test_secondary_query_fraction(self):
+        profile = WorkloadProfile(put_fraction=0.5, get_fraction=0.3,
+                                  lookup_fraction=0.1,
+                                  range_lookup_fraction=0.1)
+        assert profile.secondary_query_fraction == pytest.approx(0.2)
+
+
+class TestEmbeddedBranches:
+    def test_space_constrained_picks_embedded(self):
+        rec = IndexSelector().recommend(_profile(space_constrained=True))
+        assert rec.kind == IndexKind.EMBEDDED
+
+    def test_time_correlated_picks_embedded(self):
+        rec = IndexSelector().recommend(_profile(time_correlated=True))
+        assert rec.kind == IndexKind.EMBEDDED
+
+    def test_write_heavy_few_lookups_picks_embedded(self):
+        profile = WorkloadProfile(put_fraction=0.8, get_fraction=0.18,
+                                  lookup_fraction=0.02)
+        rec = IndexSelector().recommend(profile)
+        assert rec.kind == IndexKind.EMBEDDED
+
+    def test_thresholds_are_strict(self):
+        # Exactly at the boundary: not "write heavy enough" — stand-alone.
+        profile = WorkloadProfile(
+            put_fraction=WRITE_RATIO_THRESHOLD,
+            get_fraction=1 - WRITE_RATIO_THRESHOLD - LOOKUP_RATIO_THRESHOLD,
+            lookup_fraction=LOOKUP_RATIO_THRESHOLD)
+        rec = IndexSelector().recommend(profile)
+        assert rec.kind != IndexKind.EMBEDDED
+
+
+class TestStandAloneBranches:
+    def test_small_top_k_picks_lazy(self):
+        rec = IndexSelector().recommend(_profile(typical_top_k=10))
+        assert rec.kind == IndexKind.LAZY
+
+    def test_unbounded_top_k_picks_composite(self):
+        rec = IndexSelector().recommend(_profile(typical_top_k=None))
+        assert rec.kind == IndexKind.COMPOSITE
+
+    def test_huge_top_k_picks_composite(self):
+        rec = IndexSelector().recommend(_profile(typical_top_k=10**6))
+        assert rec.kind == IndexKind.COMPOSITE
+
+    def test_eager_is_never_recommended(self):
+        profiles = [
+            _profile(),
+            _profile(typical_top_k=None),
+            _profile(time_correlated=True),
+            WorkloadProfile(put_fraction=0.01, get_fraction=0.01,
+                            lookup_fraction=0.98),
+        ]
+        for profile in profiles:
+            assert IndexSelector().recommend(profile).kind != IndexKind.EAGER
+
+
+class TestReasons:
+    def test_recommendation_carries_reasoning(self):
+        rec = IndexSelector().recommend(_profile(space_constrained=True))
+        assert isinstance(rec, Recommendation)
+        assert rec.reasons
+        assert "space" in rec.reasons[0]

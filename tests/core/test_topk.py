@@ -1,0 +1,85 @@
+"""Top-K-by-recency heap (the paper's Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.core.topk import TopKBySeq
+
+
+class TestBounded:
+    def test_keeps_k_newest(self):
+        heap = TopKBySeq(3)
+        for seq in [5, 1, 9, 3, 7]:
+            heap.add(seq, f"item{seq}")
+        assert heap.results() == ["item9", "item7", "item5"]
+
+    def test_results_newest_first(self):
+        heap = TopKBySeq(10)
+        for seq in [2, 8, 4]:
+            heap.add(seq, seq)
+        assert heap.results() == [8, 4, 2]
+
+    def test_is_full(self):
+        heap = TopKBySeq(2)
+        assert not heap.is_full
+        heap.add(1, "a")
+        heap.add(2, "b")
+        assert heap.is_full
+
+    def test_add_reports_retention(self):
+        heap = TopKBySeq(1)
+        assert heap.add(5, "a") is True
+        assert heap.add(3, "b") is False  # older than root
+        assert heap.add(9, "c") is True
+        assert heap.results() == ["c"]
+
+    def test_would_accept(self):
+        heap = TopKBySeq(2)
+        assert heap.would_accept(0)
+        heap.add(5, "a")
+        heap.add(7, "b")
+        assert not heap.would_accept(4)
+        assert not heap.would_accept(5)  # ties lose to the incumbent
+        assert heap.would_accept(6)
+
+    def test_min_seq(self):
+        heap = TopKBySeq(2)
+        assert heap.min_seq() is None
+        heap.add(5, "a")
+        heap.add(9, "b")
+        assert heap.min_seq() == 5
+
+    def test_equal_seq_stable(self):
+        heap = TopKBySeq(None)
+        heap.add(5, "first")
+        heap.add(5, "second")
+        assert heap.results() == ["second", "first"]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKBySeq(0)
+        with pytest.raises(ValueError):
+            TopKBySeq(-3)
+
+
+class TestUnbounded:
+    def test_none_keeps_everything(self):
+        heap = TopKBySeq(None)
+        for seq in range(100):
+            heap.add(seq, seq)
+        assert len(heap) == 100
+        assert not heap.is_full
+        assert heap.would_accept(0)
+        assert heap.results() == list(range(99, -1, -1))
+
+
+class TestRandomized:
+    def test_matches_sorted_oracle(self):
+        rng = random.Random(3)
+        for k in (1, 5, 50):
+            heap = TopKBySeq(k)
+            seqs = rng.sample(range(100000), 500)
+            for seq in seqs:
+                heap.add(seq, seq)
+            assert heap.results() == sorted(seqs, reverse=True)[:k]

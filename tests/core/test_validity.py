@@ -1,0 +1,116 @@
+"""Validity checking: GET-based candidate filtering and GetLite."""
+
+from repro.core.records import encode_document
+from repro.core.validity import (
+    ValidityChecker,
+    attribute_equals,
+    attribute_in_range,
+)
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.lsm.zonemap import encode_attribute
+
+
+def _open(**overrides):
+    base = dict(block_size=1024, sstable_target_size=4 * 1024,
+                memtable_budget=4 * 1024, l1_target_size=16 * 1024)
+    base.update(overrides)
+    return DB.open_memory(Options(**base))
+
+
+class TestFetchValid:
+    def test_live_matching_record(self):
+        db = _open()
+        db.put(b"t1", encode_document({"UserID": "u1"}))
+        checker = ValidityChecker(db)
+        found = checker.fetch_valid(b"t1", attribute_equals("UserID", "u1"))
+        assert found is not None
+        document, seq = found
+        assert document["UserID"] == "u1"
+        assert seq == db.versions.last_sequence
+        assert checker.validation_gets == 1
+        db.close()
+
+    def test_missing_record(self):
+        db = _open()
+        checker = ValidityChecker(db)
+        assert checker.fetch_valid(
+            b"gone", attribute_equals("UserID", "u1")) is None
+        db.close()
+
+    def test_stale_attribute_rejected(self):
+        db = _open()
+        db.put(b"t1", encode_document({"UserID": "u1"}))
+        db.put(b"t1", encode_document({"UserID": "u2"}))
+        checker = ValidityChecker(db)
+        assert checker.fetch_valid(
+            b"t1", attribute_equals("UserID", "u1")) is None
+        db.close()
+
+    def test_deleted_record_rejected(self):
+        db = _open()
+        db.put(b"t1", encode_document({"UserID": "u1"}))
+        db.delete(b"t1")
+        checker = ValidityChecker(db)
+        assert checker.fetch_valid(
+            b"t1", attribute_equals("UserID", "u1")) is None
+        db.close()
+
+
+class TestPredicates:
+    def test_attribute_equals(self):
+        check = attribute_equals("UserID", "u1")
+        assert check({"UserID": "u1"})
+        assert not check({"UserID": "u2"})
+        assert not check({})
+
+    def test_attribute_in_range(self):
+        check = attribute_in_range("CreationTime", 10, 20, encode_attribute)
+        assert check({"CreationTime": 10})
+        assert check({"CreationTime": 20})
+        assert check({"CreationTime": 15})
+        assert not check({"CreationTime": 9})
+        assert not check({"CreationTime": 21})
+        assert not check({})
+
+
+class TestGetLite:
+    def test_newest_version_in_memtable_invalidates(self):
+        db = _open()
+        db.put(b"t1", encode_document({"UserID": "u1"}))
+        db.flush()
+        _value, old_seq = db.get_with_seq(b"t1")
+        db.put(b"t1", encode_document({"UserID": "u2"}))  # memtable
+        checker = ValidityChecker(db)
+        assert not checker.is_newest_version(b"t1", old_seq, level=0)
+        db.close()
+
+    def test_unique_version_validates_in_memory(self):
+        db = _open()
+        for i in range(200):
+            db.put(f"k{i:04d}".encode(), encode_document({"UserID": "u1"}))
+        db.flush()
+        _value, seq = db.get_with_seq(b"k0100")
+        checker = ValidityChecker(db)
+        level = db.versions.current.deepest_nonempty_level()
+        reads_before = db.vfs.stats.read_blocks
+        assert checker.is_newest_version(b"k0100", seq, level)
+        assert checker.getlite_memory_only == 1
+        assert db.vfs.stats.read_blocks == reads_before
+        db.close()
+
+    def test_newer_version_in_upper_level_invalidates(self):
+        db = _open()
+        db.put(b"t1", encode_document({"UserID": "u1"}))
+        _value, old_seq = db.get_with_seq(b"t1")
+        # Push the old version deep, then write a newer one and flush it to L0.
+        for i in range(600):
+            db.put(f"fill{i:05d}".encode(),
+                   encode_document({"UserID": "ux"}))
+        db.compact_range()
+        deep_level = db.versions.current.deepest_nonempty_level()
+        db.put(b"t1", encode_document({"UserID": "u2"}))
+        db.flush()
+        checker = ValidityChecker(db)
+        assert not checker.is_newest_version(b"t1", old_seq, deep_level)
+        db.close()

@@ -1,0 +1,219 @@
+"""The sharded store: routing, local vs global indexes, exact top-K."""
+
+import random
+
+import pytest
+
+from repro.core.base import IndexKind
+from repro.dist.cluster import SequenceOracle, ShardedDB
+from repro.dist.partitioner import HashPartitioner
+from repro.lsm.errors import DBClosedError, InvalidArgumentError
+from repro.lsm.options import Options
+
+
+def _options():
+    return Options(block_size=1024, sstable_target_size=4 * 1024,
+                   memtable_budget=4 * 1024, l1_target_size=16 * 1024)
+
+
+def _local_cluster(num_shards=4, kind=IndexKind.LAZY):
+    return ShardedDB.open_memory(
+        num_shards=num_shards, local_indexes={"UserID": kind},
+        options=_options())
+
+
+def _global_cluster(num_shards=4):
+    return ShardedDB.open_memory(
+        num_shards=num_shards, global_indexes=("UserID",),
+        options=_options())
+
+
+def _apply_random_ops(cluster, seed, num_ops, num_keys=300, num_users=15):
+    rng = random.Random(seed)
+    oracle = {}
+    for i in range(num_ops):
+        key = f"t{rng.randrange(num_keys):05d}"
+        if rng.random() < 0.08:
+            cluster.delete(key)
+            oracle.pop(key, None)
+        else:
+            doc = {"UserID": f"u{rng.randrange(num_users):03d}",
+                   "Body": "x" * rng.randrange(30)}
+            seq = cluster.put(key, doc)
+            oracle[key] = (doc, seq)
+    return oracle
+
+
+def _oracle_lookup(oracle, value):
+    return sorted(((seq, key) for key, (doc, seq) in oracle.items()
+                   if doc["UserID"] == value), reverse=True)
+
+
+class TestPartitioner:
+    def test_stable_and_in_range(self):
+        partitioner = HashPartitioner(5)
+        for i in range(200):
+            shard = partitioner.shard_of(f"key{i}".encode())
+            assert 0 <= shard < 5
+            assert shard == partitioner.shard_of(f"key{i}".encode())
+
+    def test_roughly_balanced(self):
+        partitioner = HashPartitioner(4)
+        counts = [0] * 4
+        for i in range(4000):
+            counts[partitioner.shard_of(f"key{i}".encode())] += 1
+        assert min(counts) > 700  # within ~30% of perfect balance
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestSequenceOracle:
+    def test_monotone_allocation(self):
+        oracle = SequenceOracle()
+        first = oracle.allocate(3)
+        second = oracle.allocate(1)
+        assert first == 1
+        assert second == 4
+        assert oracle.last_allocated == 4
+
+
+class TestRouting:
+    def test_put_get_delete_roundtrip(self):
+        cluster = _local_cluster()
+        cluster.put("k1", {"UserID": "u1"})
+        assert cluster.get("k1") == {"UserID": "u1"}
+        cluster.delete("k1")
+        assert cluster.get("k1") is None
+        cluster.close()
+
+    def test_records_spread_across_shards(self):
+        cluster = _local_cluster()
+        for i in range(400):
+            cluster.put(f"k{i:04d}", {"UserID": "u1"})
+        counts = cluster.shard_record_counts()
+        assert sum(counts) == 400
+        assert all(count > 40 for count in counts)
+        cluster.close()
+
+    def test_unindexed_attribute_rejected(self):
+        cluster = _local_cluster()
+        with pytest.raises(InvalidArgumentError):
+            cluster.lookup("Body", "x")
+        cluster.close()
+
+    def test_overlapping_scopes_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            ShardedDB.open_memory(local_indexes={"UserID": IndexKind.LAZY},
+                                  global_indexes=("UserID",),
+                                  options=_options())
+
+    def test_closed_cluster(self):
+        cluster = _local_cluster()
+        cluster.close()
+        with pytest.raises(DBClosedError):
+            cluster.get("k")
+        cluster.close()  # idempotent
+
+
+@pytest.mark.parametrize("scope", ["local", "global"])
+class TestEquivalence:
+    def _cluster(self, scope):
+        if scope == "local":
+            return _local_cluster()
+        return _global_cluster()
+
+    def test_lookup_matches_oracle(self, scope):
+        cluster = self._cluster(scope)
+        oracle = _apply_random_ops(cluster, seed=301, num_ops=1500)
+        for user_index in range(15):
+            value = f"u{user_index:03d}"
+            got = [(r.seq, r.key) for r in cluster.lookup(
+                "UserID", value, early_termination=False)]
+            assert got == _oracle_lookup(oracle, value), (scope, value)
+        cluster.close()
+
+    def test_top_k_exact_across_shards(self, scope):
+        cluster = self._cluster(scope)
+        oracle = _apply_random_ops(cluster, seed=302, num_ops=1200)
+        for user_index in range(0, 15, 3):
+            value = f"u{user_index:03d}"
+            got = [(r.seq, r.key) for r in cluster.lookup(
+                "UserID", value, k=5, early_termination=False)]
+            assert got == _oracle_lookup(oracle, value)[:5], (scope, value)
+        cluster.close()
+
+    def test_range_lookup_matches_oracle(self, scope):
+        cluster = self._cluster(scope)
+        oracle = _apply_random_ops(cluster, seed=303, num_ops=1200)
+        got = [(r.seq, r.key) for r in cluster.range_lookup(
+            "UserID", "u003", "u007", early_termination=False)]
+        want = sorted(((seq, key) for key, (doc, seq) in oracle.items()
+                       if "u003" <= doc["UserID"] <= "u007"), reverse=True)
+        assert got == want
+        cluster.close()
+
+    def test_updates_move_records(self, scope):
+        cluster = self._cluster(scope)
+        cluster.put("k1", {"UserID": "u001"})
+        cluster.put("k1", {"UserID": "u002"})
+        assert cluster.lookup("UserID", "u001",
+                              early_termination=False) == []
+        assert [r.key for r in cluster.lookup(
+            "UserID", "u002", early_termination=False)] == ["k1"]
+        cluster.close()
+
+
+class TestFanOut:
+    def test_local_lookup_contacts_every_shard(self):
+        cluster = _local_cluster(num_shards=6)
+        _apply_random_ops(cluster, seed=304, num_ops=300)
+        cluster.data_shards_contacted = 0
+        cluster.lookup("UserID", "u001", k=5)
+        assert cluster.data_shards_contacted == 6
+        cluster.close()
+
+    def test_global_lookup_contacts_one_index_shard(self):
+        cluster = _global_cluster(num_shards=6)
+        _apply_random_ops(cluster, seed=305, num_ops=300)
+        gsi = cluster.global_indexes["UserID"]
+        gsi.shards_contacted = 0
+        cluster.data_shards_contacted = 0
+        results = cluster.lookup("UserID", "u001", k=5)
+        assert gsi.shards_contacted == 1
+        # Data-shard GETs only for validation of the returned candidates.
+        assert cluster.data_shards_contacted <= max(5, len(results) + 3)
+        cluster.close()
+
+    def test_global_range_scatters_index_ring(self):
+        cluster = _global_cluster(num_shards=4)
+        _apply_random_ops(cluster, seed=306, num_ops=300)
+        gsi = cluster.global_indexes["UserID"]
+        gsi.shards_contacted = 0
+        cluster.range_lookup("UserID", "u000", "u005", k=5)
+        assert gsi.shards_contacted == len(gsi.shards)
+        cluster.close()
+
+
+class TestGlobalIndexMaintenance:
+    def test_deletes_clean_global_index(self):
+        cluster = _global_cluster()
+        cluster.put("k1", {"UserID": "u001"})
+        cluster.put("k2", {"UserID": "u001"})
+        cluster.delete("k1")
+        assert [r.key for r in cluster.lookup(
+            "UserID", "u001", early_termination=False)] == ["k2"]
+        cluster.close()
+
+    def test_total_size_includes_gsi(self):
+        cluster = _global_cluster()
+        _apply_random_ops(cluster, seed=307, num_ops=500)
+        for shard in cluster.data_shards:
+            shard.flush()
+        for index in cluster.global_indexes.values():
+            for lazy in index.shards:
+                lazy.flush()
+        assert cluster.total_size() > 0
+        assert cluster.global_indexes["UserID"].size_bytes() > 0
+        cluster.close()

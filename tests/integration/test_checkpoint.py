@@ -1,0 +1,97 @@
+"""Checkpoints: consistent copies, isolated from later writes."""
+
+import pytest
+
+from repro.core.base import IndexKind
+from repro.core.database import SecondaryIndexedDB
+from repro.lsm.checker import verify_integrity
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.lsm.vfs import MemoryVFS
+
+
+def _options(**overrides):
+    base = dict(block_size=1024, sstable_target_size=4 * 1024,
+                memtable_budget=4 * 1024, l1_target_size=16 * 1024)
+    base.update(overrides)
+    return Options(**base)
+
+
+class TestDBCheckpoint:
+    def test_copy_opens_with_same_content(self):
+        db = DB.open_memory(_options())
+        for i in range(600):
+            db.put(f"k{i:05d}".encode(), str(i).encode())
+        dest = MemoryVFS()
+        copied = db.checkpoint(dest, "backup")
+        assert copied > 0
+        restored = DB.open(dest, "backup", _options())
+        assert dict(restored.scan()) == dict(db.scan())
+        assert verify_integrity(restored).ok
+        restored.close()
+        db.close()
+
+    def test_unflushed_memtable_included(self):
+        db = DB.open_memory(_options(memtable_budget=10**6))
+        db.put(b"only-in-memtable", b"v")
+        dest = MemoryVFS()
+        db.checkpoint(dest, "backup")
+        restored = DB.open(dest, "backup", _options())
+        assert restored.get(b"only-in-memtable") == b"v"
+        restored.close()
+        db.close()
+
+    def test_later_writes_do_not_leak_into_copy(self):
+        db = DB.open_memory(_options())
+        for i in range(300):
+            db.put(f"k{i:05d}".encode(), b"before")
+        dest = MemoryVFS()
+        db.checkpoint(dest, "backup")
+        for i in range(300):
+            db.put(f"k{i:05d}".encode(), b"after")
+        db.put(b"new-key", b"after")
+        db.compact_range()
+        restored = DB.open(dest, "backup", _options())
+        assert restored.get(b"k00000") == b"before"
+        assert restored.get(b"new-key") is None
+        restored.close()
+        db.close()
+
+    def test_copy_is_writable_independently(self):
+        db = DB.open_memory(_options())
+        for i in range(300):
+            db.put(f"k{i:05d}".encode(), b"v")
+        dest = MemoryVFS()
+        db.checkpoint(dest, "backup")
+        restored = DB.open(dest, "backup", _options())
+        restored.put(b"copy-only", b"x")
+        restored.compact_range()
+        assert restored.get(b"copy-only") == b"x"
+        assert db.get(b"copy-only") is None
+        # Sequence numbers in the copy continue past the source's.
+        assert restored.versions.last_sequence > 300
+        restored.close()
+        db.close()
+
+
+class TestFacadeCheckpoint:
+    @pytest.mark.parametrize(
+        "kind", [IndexKind.EMBEDDED, IndexKind.LAZY, IndexKind.COMPOSITE],
+        ids=lambda k: k.value)
+    def test_checkpoint_with_indexes(self, kind):
+        db = SecondaryIndexedDB.open_memory(
+            indexes={"UserID": kind}, options=_options(), shared_vfs=True)
+        for i in range(300):
+            db.put(f"t{i:05d}", {"UserID": f"u{i % 5}"})
+        dest = MemoryVFS()
+        db.checkpoint(dest, "data")
+        db.put("t99999", {"UserID": "u0"})  # after the checkpoint
+
+        restored = SecondaryIndexedDB.open(
+            dest, "data", {"UserID": kind}, _options())
+        got = [r.key for r in restored.lookup("UserID", "u3",
+                                              early_termination=False)]
+        assert got == [f"t{i:05d}" for i in range(299, -1, -1) if i % 5 == 3]
+        assert restored.get("t99999") is None
+        restored.close()
+        db.close()

@@ -1,0 +1,92 @@
+"""Configuration-matrix equivalence: options must never change answers.
+
+Compaction style, compression, block cache and the buffer-cache simulator
+all trade performance — none may alter a single query result.  The same
+randomized operation stream runs under each configuration and every
+outcome is compared against the plain-default run.
+"""
+
+import random
+
+import pytest
+
+from repro.core.base import IndexKind
+from repro.core.database import SecondaryIndexedDB
+from repro.lsm.cache import BufferCacheSimulator
+from repro.lsm.options import Options
+from repro.lsm.vfs import MemoryVFS
+
+_CONFIGS = {
+    "baseline": {},
+    "full_level": {"compaction_style": "full_level"},
+    "no_compression": {"compression": "none"},
+    "block_cache": {"block_cache_size": 128 * 1024},
+    "paranoid": {"paranoid_checks": True},
+    "big_blocks": {"block_size": 4096, "sstable_target_size": 16 * 1024},
+}
+
+
+def _options(**overrides):
+    base = dict(block_size=1024, sstable_target_size=4 * 1024,
+                memtable_budget=4 * 1024, l1_target_size=16 * 1024)
+    base.update(overrides)
+    return Options(**base)
+
+
+def _run_stream(db, seed=500, num_ops=1200):
+    rng = random.Random(seed)
+    for i in range(num_ops):
+        key = f"t{rng.randrange(250):05d}"
+        if rng.random() < 0.1:
+            db.delete(key)
+        else:
+            db.put(key, {"UserID": f"u{rng.randrange(12):03d}",
+                         "CreationTime": i, "Body": "b" * rng.randrange(40)})
+
+
+def _answers(db):
+    answers = {}
+    for user_index in range(12):
+        value = f"u{user_index:03d}"
+        answers[("lookup", value)] = [
+            (r.seq, r.key) for r in db.lookup("UserID", value,
+                                              early_termination=False)]
+    answers["range"] = [
+        (r.seq, r.key) for r in db.range_lookup(
+            "CreationTime", 300, 700, early_termination=False)]
+    answers["scan"] = list(db.scan())
+    return answers
+
+
+@pytest.fixture(scope="module")
+def baseline_answers():
+    db = SecondaryIndexedDB.open_memory(
+        indexes={"UserID": IndexKind.LAZY,
+                 "CreationTime": IndexKind.EMBEDDED},
+        options=_options())
+    _run_stream(db)
+    answers = _answers(db)
+    db.close()
+    return answers
+
+
+@pytest.mark.parametrize("config_name", sorted(_CONFIGS))
+def test_config_never_changes_answers(config_name, baseline_answers):
+    db = SecondaryIndexedDB.open_memory(
+        indexes={"UserID": IndexKind.LAZY,
+                 "CreationTime": IndexKind.EMBEDDED},
+        options=_options(**_CONFIGS[config_name]))
+    _run_stream(db)
+    assert _answers(db) == baseline_answers, config_name
+    db.close()
+
+
+def test_buffer_cache_simulator_never_changes_answers(baseline_answers):
+    cache = BufferCacheSimulator(MemoryVFS(), 256 * 1024)
+    db = SecondaryIndexedDB.open(
+        cache, "data",
+        {"UserID": IndexKind.LAZY, "CreationTime": IndexKind.EMBEDDED},
+        _options())
+    _run_stream(db)
+    assert _answers(db) == baseline_answers
+    db.close()

@@ -1,0 +1,66 @@
+"""Facade-level durability: reopening a database with all its indexes."""
+
+import pytest
+
+from repro.core.base import IndexKind
+from repro.core.database import SecondaryIndexedDB
+from repro.lsm.options import Options
+from repro.lsm.vfs import MemoryVFS
+
+STANDALONE = [IndexKind.EAGER, IndexKind.LAZY, IndexKind.COMPOSITE]
+
+
+def _options():
+    return Options(block_size=1024, sstable_target_size=4 * 1024,
+                   memtable_budget=4 * 1024, l1_target_size=16 * 1024)
+
+
+def _reopenable(kind):
+    """Build a facade on one shared VFS so it can be reopened."""
+    vfs = MemoryVFS()
+    db = SecondaryIndexedDB.open(vfs, "data", {"UserID": kind}, _options())
+    return vfs, db
+
+
+@pytest.mark.parametrize("kind", [IndexKind.EMBEDDED, *STANDALONE],
+                         ids=lambda k: k.value)
+class TestReopen:
+    def test_reopen_preserves_data_and_index(self, kind):
+        vfs, db = _reopenable(kind)
+        for i in range(300):
+            db.put(f"t{i:05d}", {"UserID": f"u{i % 5}"})
+        db.close()
+        db2 = SecondaryIndexedDB.open(vfs, "data", {"UserID": kind},
+                                      _options())
+        assert db2.get("t00042") == {"UserID": "u2"}
+        got = [r.key for r in db2.lookup("UserID", "u3",
+                                         early_termination=False)]
+        assert got == [f"t{i:05d}" for i in range(299, -1, -1) if i % 5 == 3]
+        db2.close()
+
+    def test_reopen_with_unflushed_memtable(self, kind):
+        """WAL recovery must also restore query-side state (notably the
+        Embedded index's MemTable B-tree)."""
+        vfs, db = _reopenable(kind)
+        db.put("t1", {"UserID": "u1"})
+        db.put("t2", {"UserID": "u1"})
+        db.close()  # never flushed: data lives only in the WAL
+        db2 = SecondaryIndexedDB.open(vfs, "data", {"UserID": kind},
+                                      _options())
+        assert [r.key for r in db2.lookup("UserID", "u1")] == ["t2", "t1"]
+        db2.put("t3", {"UserID": "u1"})
+        assert [r.key for r in db2.lookup("UserID", "u1")] == \
+            ["t3", "t2", "t1"]
+        db2.close()
+
+    def test_deletes_survive_reopen(self, kind):
+        vfs, db = _reopenable(kind)
+        db.put("t1", {"UserID": "u1"})
+        db.put("t2", {"UserID": "u1"})
+        db.delete("t1")
+        db.close()
+        db2 = SecondaryIndexedDB.open(vfs, "data", {"UserID": kind},
+                                      _options())
+        assert db2.get("t1") is None
+        assert [r.key for r in db2.lookup("UserID", "u1")] == ["t2"]
+        db2.close()

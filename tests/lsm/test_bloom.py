@@ -1,0 +1,83 @@
+"""Bloom filters: no false negatives, calibrated false positives."""
+
+import math
+
+from repro.lsm.bloom import (
+    BloomFilterBuilder,
+    bloom_may_contain,
+    expected_false_positive_rate,
+    measured_false_positive_rate,
+    optimal_num_probes,
+)
+
+
+def _build(keys, bits_per_key=10):
+    builder = BloomFilterBuilder(bits_per_key)
+    for key in keys:
+        builder.add(key)
+    return builder.finish()
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        keys = [f"key{i}".encode() for i in range(500)]
+        blob = _build(keys)
+        assert all(bloom_may_contain(blob, key) for key in keys)
+
+    def test_empty_filter_matches_nothing(self):
+        blob = _build([])
+        assert blob == b""
+        assert not bloom_may_contain(blob, b"anything")
+
+    def test_single_key(self):
+        blob = _build([b"only"])
+        assert bloom_may_contain(blob, b"only")
+
+    def test_unknown_num_probes_is_conservative(self):
+        # A corrupt trailer must never cause a false negative.
+        blob = bytes([0xFF] * 8) + bytes([31])
+        assert bloom_may_contain(blob, b"whatever")
+
+
+class TestFalsePositiveRate:
+    def test_rate_close_to_theory_at_10_bits(self):
+        keys = [f"present{i}".encode() for i in range(2000)]
+        absent = [f"absent{i}".encode() for i in range(4000)]
+        blob = _build(keys, bits_per_key=10)
+        measured = measured_false_positive_rate(blob, absent)
+        expected = expected_false_positive_rate(10)
+        # ~1% expected at 10 bits/key; allow generous slack.
+        assert measured < expected * 3 + 0.01
+
+    def test_more_bits_fewer_false_positives(self):
+        keys = [f"k{i}".encode() for i in range(1000)]
+        absent = [f"a{i}".encode() for i in range(3000)]
+        rates = []
+        for bits in (4, 10, 20):
+            blob = _build(keys, bits_per_key=bits)
+            rates.append(measured_false_positive_rate(blob, absent))
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_expected_rate_formula(self):
+        """Equation 1 at the optimum: 2^(-(m/S) ln 2)."""
+        assert math.isclose(expected_false_positive_rate(10),
+                            2 ** (-10 * math.log(2)))
+        assert expected_false_positive_rate(0) == 1.0
+
+    def test_100_bits_rate_is_negligible(self):
+        """The paper's chosen secondary-filter length."""
+        assert expected_false_positive_rate(100) < 1e-20
+
+
+class TestProbeCount:
+    def test_leveldb_formula(self):
+        assert optimal_num_probes(10) == round(10 * math.log(2))
+
+    def test_clamping(self):
+        assert optimal_num_probes(0.1) == 1
+        assert optimal_num_probes(1000) == 30
+
+    def test_filter_size_scales_with_keys(self):
+        small = _build([f"k{i}".encode() for i in range(10)], 10)
+        large = _build([f"k{i}".encode() for i in range(1000)], 10)
+        assert len(large) > len(small)

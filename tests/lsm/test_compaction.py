@@ -1,0 +1,184 @@
+"""Compaction: level migration, version dropping, tombstone elision,
+merge folding, round-robin file choice."""
+
+import json
+
+from repro.lsm.db import DB
+from repro.lsm.keys import KIND_MERGE, KIND_VALUE
+from repro.lsm.options import Options
+from repro.lsm.vfs import MemoryVFS
+
+
+def _options(**overrides):
+    base = dict(block_size=512, sstable_target_size=2 * 1024,
+                memtable_budget=2 * 1024, l1_target_size=8 * 1024,
+                compression="none")
+    base.update(overrides)
+    trigger = base.get("l0_compaction_trigger", 4)
+    base.setdefault("l0_stop_writes_trigger", max(12, trigger * 3))
+    return Options(**base)
+
+
+def _union(key, operands):
+    merged = []
+    for operand in operands:
+        merged.extend(json.loads(operand))
+    return json.dumps(merged).encode()
+
+
+def _fill(db, count, prefix="k", size=60, start=0):
+    for i in range(start, start + count):
+        db.put(f"{prefix}{i:05d}".encode(), b"v" * size)
+
+
+class TestLevelMigration:
+    def test_data_flows_to_deeper_levels(self):
+        db = DB.open_memory(_options())
+        _fill(db, 1500)
+        counts = db.level_file_counts()
+        assert sum(counts) > 0
+        assert any(counts[level] > 0 for level in range(1, len(counts)))
+        assert db.compactor.stats.compaction_count > 0
+        db.close()
+
+    def test_no_data_loss_across_compactions(self):
+        db = DB.open_memory(_options())
+        _fill(db, 1200)
+        db.compact_range()
+        for i in range(0, 1200, 97):
+            assert db.get(f"k{i:05d}".encode()) == b"v" * 60
+        assert len(dict(db.scan())) == 1200
+        db.close()
+
+    def test_obsolete_versions_dropped(self):
+        db = DB.open_memory(_options())
+        for _round in range(8):
+            _fill(db, 200, size=80)  # overwrite the same 200 keys
+        db.compact_range()
+        deepest = db.versions.current.deepest_nonempty_level()
+        entries = sum(meta.num_entries
+                      for level, meta in db.versions.current.all_files())
+        assert entries == 200  # one surviving version per key
+        assert deepest >= 1
+        db.close()
+
+    def test_input_files_deleted_from_disk(self):
+        vfs = MemoryVFS()
+        db = DB.open(vfs, "db", _options())
+        _fill(db, 1200)
+        db.compact_range()
+        live = db.versions.live_file_numbers()
+        on_disk = {int(name.rsplit("/", 1)[-1].split(".")[0])
+                   for name in vfs.list_dir("db/") if name.endswith(".ldb")}
+        assert on_disk == live
+        db.close()
+
+
+class TestTombstones:
+    def test_tombstone_elided_at_base_level(self):
+        db = DB.open_memory(_options())
+        _fill(db, 300)
+        db.compact_range()
+        for i in range(300):
+            db.delete(f"k{i:05d}".encode())
+        db.compact_range()
+        db.compact_range()  # push tombstones all the way down
+        entries = sum(meta.num_entries
+                      for _level, meta in db.versions.current.all_files())
+        assert entries == 0
+        assert dict(db.scan()) == {}
+        db.close()
+
+    def test_tombstone_kept_while_deeper_data_exists(self):
+        db = DB.open_memory(_options(l0_compaction_trigger=100))
+        _fill(db, 600)
+        db.compact_range()  # data now deep
+        db.delete(b"k00000")
+        db.flush()
+        # Only L0 holds the tombstone; no compaction has merged it yet.
+        assert db.get(b"k00000") is None
+        db.close()
+
+
+class TestMergeFolding:
+    def test_fragments_folded_during_compaction(self):
+        db = DB.open_memory(_options(merge_operator=_union))
+        for i in range(600):
+            db.merge(f"list{i % 5}".encode(), json.dumps([i]).encode())
+        db.compact_range()
+        assert db.compactor.stats.merges_folded > 0
+        # After full compaction each key should be a single folded entry.
+        deepest = db.versions.current.deepest_nonempty_level()
+        kinds = {ikey.kind for ikey, _v in db.scan_level(deepest)}
+        assert kinds == {KIND_VALUE}
+        for j in range(5):
+            got = json.loads(db.get(f"list{j}".encode()))
+            assert got == [i for i in range(600) if i % 5 == j]
+        db.close()
+
+    def test_partial_merge_keeps_merge_kind(self):
+        """Folding without a visible base must stay a merge operand unless
+        the output level is the key's base level."""
+        db = DB.open_memory(_options(merge_operator=_union,
+                                     l0_compaction_trigger=2))
+        # Put a base value deep first.
+        db.put(b"list", json.dumps([0]).encode())
+        for i in range(400):
+            db.put(f"fill{i:05d}".encode(), b"x" * 80)
+        # Now shower merge operands; compactions will fold some of them
+        # while the base is still deeper.
+        for i in range(1, 300):
+            db.merge(b"list", json.dumps([i]).encode())
+            if i % 40 == 0:
+                db.flush()
+        assert json.loads(db.get(b"list")) == list(range(300))
+        db.compact_range()
+        assert json.loads(db.get(b"list")) == list(range(300))
+        db.close()
+
+    def test_merge_with_snapshot_is_conservative(self):
+        db = DB.open_memory(_options(merge_operator=_union))
+        db.merge(b"k", b"[1]")
+        snap = db.snapshot()
+        db.merge(b"k", b"[2]")
+        db.compact_range()
+        assert json.loads(db.get(b"k")) == [1, 2]
+        assert json.loads(db.get(b"k", snap)) == [1]
+        snap.release()
+        db.close()
+
+
+class TestRoundRobinPointer:
+    def test_compact_pointer_advances(self):
+        db = DB.open_memory(_options())
+        _fill(db, 3000)
+        pointers = [p for p in db.versions.compact_pointers if p is not None]
+        assert pointers, "compactions must record their upper bounds"
+        db.close()
+
+    def test_stats_by_level(self):
+        db = DB.open_memory(_options())
+        _fill(db, 2000)
+        stats = db.compactor.stats
+        assert stats.flush_count > 0
+        assert stats.bytes_flushed > 0
+        assert 0 in stats.compactions_by_level
+        assert stats.bytes_compacted_in > 0
+        assert stats.bytes_compacted_out > 0
+        db.close()
+
+
+class TestSnapshotsSurviveCompaction:
+    def test_old_version_pinned_by_snapshot(self):
+        db = DB.open_memory(_options())
+        db.put(b"pinned", b"v1")
+        snap = db.snapshot()
+        db.put(b"pinned", b"v2")
+        _fill(db, 800)
+        db.compact_range()
+        assert db.get(b"pinned") == b"v2"
+        assert db.get(b"pinned", snap) == b"v1"
+        snap.release()
+        db.compact_range()
+        assert db.get(b"pinned") == b"v2"
+        db.close()

@@ -1,0 +1,55 @@
+"""Per-block compression strategies."""
+
+import pytest
+
+from repro.lsm.compression import (
+    NoCompression,
+    TYPE_NONE,
+    TYPE_ZLIB,
+    ZlibCompression,
+    compressor_for,
+    decompress,
+)
+
+
+class TestZlib:
+    def test_compressible_payload_roundtrip(self):
+        data = b"abc" * 1000
+        payload, tag = ZlibCompression().compress(data)
+        assert tag == TYPE_ZLIB
+        assert len(payload) < len(data)
+        assert decompress(payload, tag) == data
+
+    def test_incompressible_stored_raw(self):
+        import os
+
+        data = os.urandom(256)
+        payload, tag = ZlibCompression().compress(data)
+        assert tag == TYPE_NONE
+        assert payload == data
+
+    def test_empty(self):
+        payload, tag = ZlibCompression().compress(b"")
+        assert decompress(payload, tag) == b""
+
+
+class TestNoCompression:
+    def test_identity(self):
+        data = b"abc" * 100
+        payload, tag = NoCompression().compress(data)
+        assert (payload, tag) == (data, TYPE_NONE)
+        assert decompress(payload, tag) == data
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert compressor_for("none").name == "none"
+        assert compressor_for("zlib").name == "zlib"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            compressor_for("snappy")
+
+    def test_unknown_tag(self):
+        with pytest.raises(ValueError):
+            decompress(b"x", 42)

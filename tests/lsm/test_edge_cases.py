@@ -1,0 +1,167 @@
+"""Engine edge cases: huge values, odd keys, block cache, stress shapes."""
+
+import random
+
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+
+
+def _options(**overrides):
+    base = dict(block_size=1024, sstable_target_size=4 * 1024,
+                memtable_budget=4 * 1024, l1_target_size=16 * 1024)
+    base.update(overrides)
+    return Options(**base)
+
+
+class TestLargeValues:
+    def test_value_larger_than_block(self):
+        db = DB.open_memory(_options())
+        big = bytes(range(256)) * 40  # 10 KiB >> 1 KiB blocks
+        db.put(b"big", big)
+        db.flush()
+        assert db.get(b"big") == big
+        db.close()
+
+    def test_value_larger_than_sstable_target(self):
+        db = DB.open_memory(_options())
+        huge = b"payload" * 3000  # 21 KiB >> 4 KiB target
+        db.put(b"huge", huge)
+        db.put(b"small", b"x")
+        db.compact_range()
+        assert db.get(b"huge") == huge
+        assert db.get(b"small") == b"x"
+        db.close()
+
+    def test_many_large_values_compact_correctly(self):
+        db = DB.open_memory(_options())
+        rng = random.Random(8)
+        model = {}
+        for i in range(60):
+            key = f"k{i:03d}".encode()
+            value = bytes(rng.randrange(256) for _ in range(2000))
+            db.put(key, value)
+            model[key] = value
+        db.compact_range()
+        assert dict(db.scan()) == model
+        db.close()
+
+
+class TestOddKeys:
+    def test_empty_key(self):
+        db = DB.open_memory(_options())
+        db.put(b"", b"empty-key-value")
+        db.flush()
+        assert db.get(b"") == b"empty-key-value"
+        assert dict(db.scan())[b""] == b"empty-key-value"
+        db.close()
+
+    def test_binary_keys_with_nulls_and_ff(self):
+        db = DB.open_memory(_options())
+        keys = [b"\x00", b"\x00\x00", b"\xff", b"\xff\xff", b"a\x00b",
+                b"\x00\xff\x00"]
+        for i, key in enumerate(keys):
+            db.put(key, str(i).encode())
+        db.flush()
+        for i, key in enumerate(keys):
+            assert db.get(key) == str(i).encode()
+        assert [k for k, _v in db.scan()] == sorted(keys)
+        db.close()
+
+    def test_long_keys(self):
+        db = DB.open_memory(_options())
+        long_key = b"k" * 5000
+        db.put(long_key, b"v")
+        db.flush()
+        assert db.get(long_key) == b"v"
+        db.close()
+
+    def test_adjacent_prefix_keys(self):
+        db = DB.open_memory(_options())
+        keys = [b"a" * n for n in range(1, 40)]
+        for key in keys:
+            db.put(key, key)
+        db.compact_range()
+        for key in keys:
+            assert db.get(key) == key
+        db.close()
+
+
+class TestBlockCache:
+    def test_cached_reads_still_correct(self):
+        db = DB.open_memory(_options(block_cache_size=256 * 1024))
+        for i in range(800):
+            db.put(f"k{i:05d}".encode(), str(i).encode())
+        db.flush()
+        for _round in range(3):
+            for i in range(0, 800, 13):
+                assert db.get(f"k{i:05d}".encode()) == str(i).encode()
+        cache = db.table_cache.block_cache
+        assert cache is not None
+        assert cache.hits > 0
+        db.close()
+
+    def test_cache_reduces_io(self):
+        def run(cache_size):
+            db = DB.open_memory(_options(block_cache_size=cache_size))
+            for i in range(600):
+                db.put(f"k{i:05d}".encode(), b"x" * 50)
+            db.flush()
+            before = db.vfs.stats.read_blocks
+            for _round in range(4):
+                for i in range(0, 600, 7):
+                    db.get(f"k{i:05d}".encode())
+            reads = db.vfs.stats.read_blocks - before
+            db.close()
+            return reads
+
+        assert run(512 * 1024) < run(0)
+
+    def test_cache_invalidation_by_file_identity(self):
+        """Compaction outputs new file numbers: stale cache entries can
+        never serve reads for new files."""
+        db = DB.open_memory(_options(block_cache_size=256 * 1024))
+        for i in range(400):
+            db.put(f"k{i:05d}".encode(), b"v1" * 20)
+        db.flush()
+        for i in range(0, 400, 2):
+            db.get(f"k{i:05d}".encode())  # warm cache
+        for i in range(400):
+            db.put(f"k{i:05d}".encode(), b"v2" * 20)
+        db.compact_range()
+        for i in range(0, 400, 7):
+            assert db.get(f"k{i:05d}".encode()) == b"v2" * 20
+        db.close()
+
+
+class TestStressShapes:
+    def test_single_hot_key_many_versions(self):
+        db = DB.open_memory(_options())
+        for i in range(3000):
+            db.put(b"hot", f"version-{i}".encode())
+        assert db.get(b"hot") == b"version-2999"
+        db.compact_range()
+        assert db.get(b"hot") == b"version-2999"
+        entries = sum(meta.num_entries
+                      for _lvl, meta in db.versions.current.all_files())
+        assert entries == 1
+        db.close()
+
+    def test_sequential_then_reverse_writes(self):
+        db = DB.open_memory(_options())
+        for i in range(700):
+            db.put(f"a{i:05d}".encode(), b"fwd")
+        for i in range(699, -1, -1):
+            db.put(f"b{i:05d}".encode(), b"rev")
+        assert len(dict(db.scan())) == 1400
+        db.close()
+
+    def test_interleaved_flush_heavy(self):
+        db = DB.open_memory(_options(memtable_budget=512))
+        model = {}
+        for i in range(400):
+            key = f"k{i % 50:03d}".encode()
+            value = f"v{i}".encode()
+            db.put(key, value)
+            model[key] = value
+        assert dict(db.scan()) == model
+        db.close()

@@ -1,0 +1,153 @@
+"""Stream merging and version resolution."""
+
+import json
+
+import pytest
+
+from repro.lsm.errors import InvalidArgumentError
+from repro.lsm.iterator import clip_to_range, merge_streams, resolve_versions
+from repro.lsm.keys import (
+    KIND_DELETE,
+    KIND_MERGE,
+    KIND_VALUE,
+    InternalKey,
+)
+
+
+def _entry(user, seq, kind=KIND_VALUE, value=b""):
+    return InternalKey(user, seq, kind), value
+
+
+def _union(key, operands):
+    merged = []
+    for operand in operands:
+        merged.extend(json.loads(operand))
+    return json.dumps(merged).encode()
+
+
+class TestMergeStreams:
+    def test_two_streams_interleave(self):
+        s1 = [_entry(b"a", 1), _entry(b"c", 1)]
+        s2 = [_entry(b"b", 1), _entry(b"d", 1)]
+        merged = list(merge_streams([iter(s1), iter(s2)]))
+        assert [ik.user_key for ik, _v in merged] == [b"a", b"b", b"c", b"d"]
+
+    def test_same_key_newest_first(self):
+        s1 = [_entry(b"k", 3, value=b"v3")]
+        s2 = [_entry(b"k", 9, value=b"v9"), _entry(b"k", 1, value=b"v1")]
+        merged = list(merge_streams([iter(s1), iter(s2)]))
+        assert [ik.seq for ik, _v in merged] == [9, 3, 1]
+
+    def test_empty_streams(self):
+        assert list(merge_streams([])) == []
+        assert list(merge_streams([iter([]), iter([])])) == []
+
+    def test_single_stream_passthrough(self):
+        entries = [_entry(b"a", 2), _entry(b"a", 1), _entry(b"b", 5)]
+        assert list(merge_streams([iter(entries)])) == entries
+
+    def test_many_streams(self):
+        streams = [iter([_entry(f"k{i:02d}".encode(), 1)]) for i in range(20)]
+        merged = list(merge_streams(streams))
+        assert len(merged) == 20
+        keys = [ik.user_key for ik, _v in merged]
+        assert keys == sorted(keys)
+
+
+class TestResolveVersions:
+    def test_newest_value_wins(self):
+        entries = [_entry(b"k", 5, value=b"new"), _entry(b"k", 2, value=b"old")]
+        resolved = list(resolve_versions(iter(entries)))
+        assert resolved == [(b"k", b"new", 5)]
+
+    def test_tombstone_hides_key(self):
+        entries = [_entry(b"k", 5, KIND_DELETE), _entry(b"k", 2, value=b"old")]
+        assert list(resolve_versions(iter(entries))) == []
+
+    def test_older_tombstone_ignored(self):
+        entries = [_entry(b"k", 5, value=b"live"), _entry(b"k", 2, KIND_DELETE)]
+        assert list(resolve_versions(iter(entries))) == [(b"k", b"live", 5)]
+
+    def test_snapshot_bound(self):
+        entries = [_entry(b"k", 9, value=b"future"),
+                   _entry(b"k", 4, value=b"past")]
+        resolved = list(resolve_versions(iter(entries), max_seq=5))
+        assert resolved == [(b"k", b"past", 4)]
+
+    def test_snapshot_sees_through_newer_delete(self):
+        entries = [_entry(b"k", 9, KIND_DELETE), _entry(b"k", 4, value=b"v")]
+        assert list(resolve_versions(iter(entries), max_seq=5)) == \
+            [(b"k", b"v", 4)]
+
+    def test_merge_chain_with_base(self):
+        entries = [
+            _entry(b"k", 5, KIND_MERGE, b"[3]"),
+            _entry(b"k", 4, KIND_MERGE, b"[2]"),
+            _entry(b"k", 1, KIND_VALUE, b"[1]"),
+        ]
+        resolved = list(resolve_versions(iter(entries),
+                                         merge_operator=_union))
+        assert resolved == [(b"k", b"[1, 2, 3]", 5)]
+
+    def test_merge_chain_without_base(self):
+        entries = [
+            _entry(b"k", 5, KIND_MERGE, b"[2]"),
+            _entry(b"k", 3, KIND_MERGE, b"[1]"),
+        ]
+        resolved = list(resolve_versions(iter(entries),
+                                         merge_operator=_union))
+        assert resolved == [(b"k", b"[1, 2]", 5)]
+
+    def test_merge_chain_over_delete(self):
+        entries = [
+            _entry(b"k", 5, KIND_MERGE, b"[9]"),
+            _entry(b"k", 3, KIND_DELETE),
+            _entry(b"k", 1, KIND_VALUE, b"[1]"),
+        ]
+        resolved = list(resolve_versions(iter(entries),
+                                         merge_operator=_union))
+        assert resolved == [(b"k", b"[9]", 5)]
+
+    def test_merge_chain_at_stream_end(self):
+        entries = [
+            _entry(b"a", 2, KIND_VALUE, b"x"),
+            _entry(b"k", 5, KIND_MERGE, b"[1]"),
+        ]
+        resolved = list(resolve_versions(iter(entries),
+                                         merge_operator=_union))
+        assert resolved == [(b"a", b"x", 2), (b"k", b"[1]", 5)]
+
+    def test_merge_without_operator_raises(self):
+        entries = [_entry(b"k", 5, KIND_MERGE, b"[1]")]
+        with pytest.raises(InvalidArgumentError):
+            list(resolve_versions(iter(entries)))
+
+    def test_multiple_keys(self):
+        entries = [
+            _entry(b"a", 3, value=b"va"),
+            _entry(b"b", 9, KIND_DELETE),
+            _entry(b"b", 1, value=b"vb"),
+            _entry(b"c", 2, value=b"vc"),
+        ]
+        resolved = list(resolve_versions(iter(entries)))
+        assert resolved == [(b"a", b"va", 3), (b"c", b"vc", 2)]
+
+
+class TestClipToRange:
+    def test_bounds_inclusive(self):
+        resolved = [(b"a", b"", 1), (b"b", b"", 1), (b"c", b"", 1)]
+        assert [k for k, _v, _s in clip_to_range(iter(resolved), b"b", b"b")] \
+            == [b"b"]
+
+    def test_unbounded(self):
+        resolved = [(b"a", b"", 1), (b"z", b"", 1)]
+        assert len(list(clip_to_range(iter(resolved), None, None))) == 2
+
+    def test_early_exit_past_high(self):
+        def stream():
+            yield b"a", b"", 1
+            yield b"m", b"", 1
+            raise AssertionError("must not be pulled past the bound")
+
+        got = list(clip_to_range(stream(), None, b"a"))
+        assert [k for k, _v, _s in got] == [b"a"]

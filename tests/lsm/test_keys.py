@@ -1,0 +1,142 @@
+"""Internal-key encoding and varint codecs."""
+
+import pytest
+
+from repro.lsm.keys import (
+    KIND_DELETE,
+    KIND_MERGE,
+    KIND_VALUE,
+    InternalKey,
+    MAX_SEQUENCE,
+    compare_internal,
+    decode_length_prefixed,
+    decode_varint,
+    encode_length_prefixed,
+    encode_varint,
+    internal_sort_key,
+    pack_internal_key,
+    unpack_internal_key,
+)
+
+
+class TestVarint:
+    def test_roundtrip_small(self):
+        for value in [0, 1, 127, 128, 300, 2**14, 2**21 - 1]:
+            encoded = encode_varint(value)
+            decoded, offset = decode_varint(encoded)
+            assert decoded == value
+            assert offset == len(encoded)
+
+    def test_roundtrip_large(self):
+        value = 2**56 - 1
+        decoded, _ = decode_varint(encode_varint(value))
+        assert decoded == value
+
+    def test_single_byte_boundary(self):
+        assert len(encode_varint(127)) == 1
+        assert len(encode_varint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        encoded = encode_varint(300)
+        with pytest.raises(ValueError):
+            decode_varint(encoded[:1])
+
+    def test_decode_at_offset(self):
+        blob = b"\xff\xff" + encode_varint(42)
+        value, offset = decode_varint(blob, 2)
+        assert value == 42
+        assert offset == len(blob)
+
+    def test_overlong_varint_rejected(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\x80" * 10 + b"\x01")
+
+
+class TestLengthPrefixed:
+    def test_roundtrip(self):
+        blob = b"hello\x00world"
+        encoded = encode_length_prefixed(blob)
+        decoded, offset = decode_length_prefixed(encoded)
+        assert decoded == blob
+        assert offset == len(encoded)
+
+    def test_empty(self):
+        decoded, _ = decode_length_prefixed(encode_length_prefixed(b""))
+        assert decoded == b""
+
+    def test_truncated_payload(self):
+        encoded = encode_length_prefixed(b"abcdef")
+        with pytest.raises(ValueError):
+            decode_length_prefixed(encoded[:-2])
+
+
+class TestInternalKey:
+    def test_pack_unpack_roundtrip(self):
+        ikey = unpack_internal_key(pack_internal_key(b"key", 42, KIND_VALUE))
+        assert ikey == InternalKey(b"key", 42, KIND_VALUE)
+
+    def test_max_sequence_roundtrip(self):
+        ikey = unpack_internal_key(
+            pack_internal_key(b"k", MAX_SEQUENCE, KIND_DELETE))
+        assert ikey.seq == MAX_SEQUENCE
+        assert ikey.kind == KIND_DELETE
+
+    def test_sequence_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_internal_key(b"k", MAX_SEQUENCE + 1, KIND_VALUE)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            pack_internal_key(b"k", 1, 99)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_internal_key(b"short")
+
+    def test_kind_names(self):
+        assert InternalKey(b"k", 1, KIND_VALUE).kind_name == "value"
+        assert InternalKey(b"k", 1, KIND_DELETE).kind_name == "delete"
+        assert InternalKey(b"k", 1, KIND_MERGE).kind_name == "merge"
+
+
+class TestOrdering:
+    """User key ascending, sequence number descending — LevelDB's order."""
+
+    def test_user_keys_ascend(self):
+        a = pack_internal_key(b"a", 1, KIND_VALUE)
+        b = pack_internal_key(b"b", 100, KIND_VALUE)
+        assert compare_internal(a, b) == -1
+        assert compare_internal(b, a) == 1
+
+    def test_newer_sequence_sorts_first(self):
+        old = pack_internal_key(b"k", 1, KIND_VALUE)
+        new = pack_internal_key(b"k", 2, KIND_VALUE)
+        assert compare_internal(new, old) == -1
+
+    def test_prefix_keys_order_by_user_key(self):
+        # "a" < "ab" even though a naive byte comparison of encoded keys
+        # (user key + big trailer) would say otherwise.
+        short = pack_internal_key(b"a", 1, KIND_VALUE)
+        long = pack_internal_key(b"ab", MAX_SEQUENCE, KIND_VALUE)
+        assert compare_internal(short, long) == -1
+
+    def test_equal_keys(self):
+        k1 = pack_internal_key(b"k", 5, KIND_VALUE)
+        k2 = pack_internal_key(b"k", 5, KIND_VALUE)
+        assert compare_internal(k1, k2) == 0
+
+    def test_sorted_sequence_matches_expectation(self):
+        keys = [
+            pack_internal_key(b"a", 3, KIND_VALUE),
+            pack_internal_key(b"a", 7, KIND_DELETE),
+            pack_internal_key(b"b", 1, KIND_VALUE),
+            pack_internal_key(b"aa", 5, KIND_VALUE),
+        ]
+        ordered = sorted(keys, key=internal_sort_key)
+        decoded = [unpack_internal_key(k) for k in ordered]
+        assert [(d.user_key, d.seq) for d in decoded] == [
+            (b"a", 7), (b"a", 3), (b"aa", 5), (b"b", 1)]

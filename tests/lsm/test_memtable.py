@@ -1,0 +1,93 @@
+"""MemTable: versioned buffer semantics."""
+
+import pytest
+
+from repro.lsm.keys import KIND_DELETE, KIND_MERGE, KIND_VALUE
+from repro.lsm.memtable import MemTable
+
+
+class TestBasics:
+    def test_empty(self):
+        mem = MemTable()
+        assert mem.is_empty()
+        assert len(mem) == 0
+        assert mem.get(b"k") is None
+        assert mem.min_seq is None and mem.max_seq is None
+
+    def test_add_get(self):
+        mem = MemTable()
+        mem.add(1, KIND_VALUE, b"k", b"v")
+        entry = mem.get(b"k")
+        assert entry is not None
+        assert (entry.user_key, entry.seq, entry.kind, entry.value) == \
+            (b"k", 1, KIND_VALUE, b"v")
+
+    def test_newest_version_wins(self):
+        mem = MemTable()
+        mem.add(1, KIND_VALUE, b"k", b"old")
+        mem.add(2, KIND_VALUE, b"k", b"new")
+        assert mem.get(b"k").value == b"new"
+
+    def test_tombstone_visible(self):
+        mem = MemTable()
+        mem.add(1, KIND_VALUE, b"k", b"v")
+        mem.add(2, KIND_DELETE, b"k", b"")
+        assert mem.get(b"k").kind == KIND_DELETE
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MemTable().add(1, 7, b"k", b"")
+
+    def test_seq_bounds_tracked(self):
+        mem = MemTable()
+        mem.add(5, KIND_VALUE, b"a", b"")
+        mem.add(3, KIND_VALUE, b"b", b"")
+        mem.add(9, KIND_VALUE, b"c", b"")
+        assert mem.min_seq == 3
+        assert mem.max_seq == 9
+
+    def test_memory_accounting_grows(self):
+        mem = MemTable()
+        before = mem.approximate_memory_usage
+        mem.add(1, KIND_VALUE, b"key", b"v" * 1000)
+        assert mem.approximate_memory_usage >= before + 1000
+
+
+class TestVersions:
+    def test_versions_newest_first(self):
+        mem = MemTable()
+        for seq in (1, 5, 3):
+            mem.add(seq, KIND_VALUE, b"k", str(seq).encode())
+        assert [e.seq for e in mem.versions(b"k")] == [5, 3, 1]
+
+    def test_versions_respect_max_seq(self):
+        mem = MemTable()
+        for seq in (1, 3, 5):
+            mem.add(seq, KIND_VALUE, b"k", b"")
+        assert [e.seq for e in mem.versions(b"k", max_seq=3)] == [3, 1]
+        assert mem.get(b"k", max_seq=2).seq == 1
+        assert mem.get(b"k", max_seq=0) is None
+
+    def test_versions_isolated_per_key(self):
+        mem = MemTable()
+        mem.add(1, KIND_VALUE, b"a", b"")
+        mem.add(2, KIND_VALUE, b"ab", b"")
+        assert [e.seq for e in mem.versions(b"a")] == [1]
+
+    def test_merge_entries_preserved(self):
+        mem = MemTable()
+        mem.add(1, KIND_VALUE, b"k", b"base")
+        mem.add(2, KIND_MERGE, b"k", b"op1")
+        mem.add(3, KIND_MERGE, b"k", b"op2")
+        kinds = [e.kind for e in mem.versions(b"k")]
+        assert kinds == [KIND_MERGE, KIND_MERGE, KIND_VALUE]
+
+
+class TestIteration:
+    def test_internal_key_order(self):
+        mem = MemTable()
+        mem.add(1, KIND_VALUE, b"b", b"")
+        mem.add(2, KIND_VALUE, b"a", b"")
+        mem.add(3, KIND_VALUE, b"b", b"")
+        order = [(e.user_key, e.seq) for e in mem]
+        assert order == [(b"a", 2), (b"b", 3), (b"b", 1)]

@@ -1,0 +1,88 @@
+"""Options validation and derived quantities."""
+
+import pytest
+
+from repro.lsm.options import Options, json_attribute_extractor
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        Options()  # must not raise
+
+    def test_block_size_positive(self):
+        with pytest.raises(ValueError):
+            Options(block_size=0)
+        with pytest.raises(ValueError):
+            Options(block_size=-1)
+
+    def test_sstable_at_least_block(self):
+        with pytest.raises(ValueError):
+            Options(block_size=4096, sstable_target_size=1024)
+
+    def test_max_levels_minimum(self):
+        with pytest.raises(ValueError):
+            Options(max_levels=1)
+        Options(max_levels=2)
+
+    def test_multiplier_minimum(self):
+        with pytest.raises(ValueError):
+            Options(level_size_multiplier=1)
+
+    def test_compression_names(self):
+        with pytest.raises(ValueError):
+            Options(compression="lz4")
+        Options(compression="none")
+        Options(compression="zlib")
+
+    def test_compaction_styles(self):
+        with pytest.raises(ValueError):
+            Options(compaction_style="universal")
+        Options(compaction_style="leveled")
+        Options(compaction_style="full_level")
+
+    def test_stop_trigger_ordering(self):
+        with pytest.raises(ValueError):
+            Options(l0_compaction_trigger=20, l0_stop_writes_trigger=10)
+
+
+class TestLevelBudgets:
+    def test_geometric_growth(self):
+        options = Options(l1_target_size=1000, level_size_multiplier=10)
+        assert options.max_bytes_for_level(1) == 1000
+        assert options.max_bytes_for_level(2) == 10000
+        assert options.max_bytes_for_level(3) == 100000
+
+    def test_level0_unbounded_by_size(self):
+        assert Options().max_bytes_for_level(0) == float("inf")
+
+
+class TestJsonExtractor:
+    def test_extracts_object(self):
+        assert json_attribute_extractor(b'{"a": 1, "b": "x"}') == \
+            {"a": 1, "b": "x"}
+
+    def test_non_json_is_empty(self):
+        assert json_attribute_extractor(b"\xff\xfe raw bytes") == {}
+
+    def test_non_object_json_is_empty(self):
+        assert json_attribute_extractor(b"[1, 2, 3]") == {}
+        assert json_attribute_extractor(b'"just a string"') == {}
+
+    def test_custom_extractor_plumbed_through(self):
+        def csv_extractor(value: bytes):
+            user, _text = value.decode().split(",", 1)
+            return {"user": user}
+
+        from repro.lsm.db import DB
+
+        options = Options(indexed_attributes=("user",),
+                          attribute_extractor=csv_extractor,
+                          block_size=512, sstable_target_size=1024,
+                          memtable_budget=1024)
+        db = DB.open_memory(options)
+        for i in range(50):
+            db.put(f"k{i}".encode(), f"u{i % 3},hello".encode())
+        db.flush()
+        _level, meta = db.versions.current.all_files()[0]
+        assert "user" in meta.secondary_zonemaps
+        db.close()

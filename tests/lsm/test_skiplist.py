@@ -1,0 +1,92 @@
+"""Skip list behaviour against a sorted-dict oracle."""
+
+import random
+
+import pytest
+
+from repro.lsm.skiplist import SkipList
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = SkipList()
+        assert len(sl) == 0
+        assert sl.get("missing") is None
+        assert "missing" not in sl
+        assert sl.first() is None
+        assert list(sl) == []
+
+    def test_insert_get(self):
+        sl = SkipList()
+        sl.insert(b"b", 2)
+        sl.insert(b"a", 1)
+        sl.insert(b"c", 3)
+        assert sl.get(b"a") == 1
+        assert sl.get(b"b") == 2
+        assert sl.get(b"c") == 3
+        assert len(sl) == 3
+
+    def test_duplicate_rejected(self):
+        sl = SkipList()
+        sl.insert(b"k", 1)
+        with pytest.raises(KeyError):
+            sl.insert(b"k", 2)
+
+    def test_iteration_is_sorted(self):
+        sl = SkipList()
+        keys = [b"m", b"a", b"z", b"q", b"b"]
+        for key in keys:
+            sl.insert(key, None)
+        assert [k for k, _v in sl] == sorted(keys)
+
+    def test_first(self):
+        sl = SkipList()
+        sl.insert(b"q", 1)
+        sl.insert(b"a", 2)
+        assert sl.first() == (b"a", 2)
+
+    def test_items_from_midpoint(self):
+        sl = SkipList()
+        for key in [b"a", b"c", b"e", b"g"]:
+            sl.insert(key, key)
+        assert [k for k, _v in sl.items_from(b"c")] == [b"c", b"e", b"g"]
+        assert [k for k, _v in sl.items_from(b"d")] == [b"e", b"g"]
+        assert [k for k, _v in sl.items_from(b"z")] == []
+        assert [k for k, _v in sl.items_from(b"")] == [b"a", b"c", b"e", b"g"]
+
+    def test_tuple_keys(self):
+        """The MemTable uses (user_key, inverted_seq) tuples."""
+        sl = SkipList()
+        sl.insert((b"k", 5), "older")
+        sl.insert((b"k", 1), "newer")
+        assert [v for _k, v in sl.items_from((b"k", 0))] == ["newer", "older"]
+
+
+class TestRandomized:
+    def test_against_dict_oracle(self):
+        rng = random.Random(99)
+        sl = SkipList(rng=random.Random(1))
+        oracle: dict[int, int] = {}
+        for i in range(3000):
+            key = rng.randrange(1000)
+            if key in oracle:
+                assert sl.get(key) == oracle[key]
+                continue
+            oracle[key] = i
+            sl.insert(key, i)
+        assert len(sl) == len(oracle)
+        assert [k for k, _v in sl] == sorted(oracle)
+        for key, value in oracle.items():
+            assert sl.get(key) == value
+
+    def test_seek_positions(self):
+        rng = random.Random(5)
+        sl = SkipList()
+        keys = sorted(rng.sample(range(10000), 500))
+        for key in keys:
+            sl.insert(key, None)
+        for _ in range(100):
+            target = rng.randrange(11000)
+            got = [k for k, _v in sl.items_from(target)]
+            want = [k for k in keys if k >= target]
+            assert got == want

@@ -1,0 +1,83 @@
+"""Table cache: memoization, eviction, block-cache wiring."""
+
+from repro.lsm.compression import NoCompression
+from repro.lsm.keys import KIND_VALUE, pack_internal_key
+from repro.lsm.manifest import table_file_name
+from repro.lsm.options import Options
+from repro.lsm.sstable import TableBuilder
+from repro.lsm.tablecache import TableCache
+from repro.lsm.vfs import MemoryVFS
+
+
+def _write_table(vfs, number, count=50):
+    options = Options(block_size=512, compression="none")
+    out = vfs.create(table_file_name("db", number))
+    builder = TableBuilder(options, out, NoCompression())
+    for i in range(count):
+        builder.add(pack_internal_key(f"k{i:03d}".encode(), 1, KIND_VALUE),
+                    b"v")
+    builder.finish()
+    out.close()
+
+
+class TestTableCache:
+    def test_open_is_memoized(self):
+        vfs = MemoryVFS()
+        _write_table(vfs, 1)
+        cache = TableCache(vfs, "db", Options(block_size=512))
+        first = cache.get(1)
+        reads_after_open = vfs.stats.read_blocks
+        second = cache.get(1)
+        assert first is second
+        assert vfs.stats.read_blocks == reads_after_open  # no re-open I/O
+        assert len(cache) == 1
+        cache.close()
+
+    def test_eviction_respects_capacity(self):
+        vfs = MemoryVFS()
+        for number in range(1, 6):
+            _write_table(vfs, number)
+        cache = TableCache(vfs, "db", Options(block_size=512),
+                           max_open_files=3)
+        for number in range(1, 6):
+            cache.get(number)
+        assert len(cache) == 3
+        # Least-recently-used tables (1 and 2) were evicted; re-opening
+        # works transparently.
+        table = cache.get(1)
+        assert table.num_data_blocks > 0
+        cache.close()
+
+    def test_explicit_evict(self):
+        vfs = MemoryVFS()
+        _write_table(vfs, 1)
+        cache = TableCache(vfs, "db", Options(block_size=512))
+        cache.get(1)
+        cache.evict(1)
+        assert len(cache) == 0
+        cache.evict(1)  # idempotent
+        cache.close()
+
+    def test_block_cache_shared_across_tables(self):
+        vfs = MemoryVFS()
+        _write_table(vfs, 1)
+        _write_table(vfs, 2)
+        options = Options(block_size=512, block_cache_size=64 * 1024)
+        cache = TableCache(vfs, "db", options)
+        assert cache.block_cache is not None
+        table1 = cache.get(1)
+        table2 = cache.get(2)
+        assert table1._block_cache is cache.block_cache
+        assert table2._block_cache is cache.block_cache
+        table1.read_data_block(0)
+        table1.read_data_block(0)
+        assert cache.block_cache.hits >= 1
+        cache.close()
+
+    def test_no_block_cache_by_default(self):
+        vfs = MemoryVFS()
+        _write_table(vfs, 1)
+        cache = TableCache(vfs, "db", Options(block_size=512))
+        assert cache.block_cache is None
+        assert cache.get(1)._block_cache is None
+        cache.close()

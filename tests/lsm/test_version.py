@@ -1,0 +1,192 @@
+"""Versions, version edits, and the version set."""
+
+import pytest
+
+from repro.lsm.errors import CorruptionError
+from repro.lsm.keys import KIND_VALUE, pack_internal_key
+from repro.lsm.options import Options
+from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
+from repro.lsm.zonemap import ZoneMap, encode_attribute
+
+
+def _meta(number, lo, hi, min_seq=1, max_seq=1, size=1000):
+    return FileMetaData(
+        file_number=number,
+        file_size=size,
+        smallest=pack_internal_key(lo.encode(), max_seq, KIND_VALUE),
+        largest=pack_internal_key(hi.encode(), min_seq, KIND_VALUE),
+        min_seq=min_seq,
+        max_seq=max_seq,
+    )
+
+
+class TestFileMetaData:
+    def test_user_key_bounds(self):
+        meta = _meta(1, "aaa", "mmm")
+        assert meta.smallest_user_key == b"aaa"
+        assert meta.largest_user_key == b"mmm"
+        assert meta.contains_user_key(b"ccc")
+        assert not meta.contains_user_key(b"zzz")
+
+    def test_overlaps_user_range(self):
+        meta = _meta(1, "d", "h")
+        assert meta.overlaps_user_range(b"a", b"d")
+        assert meta.overlaps_user_range(b"h", b"z")
+        assert meta.overlaps_user_range(None, None)
+        assert meta.overlaps_user_range(None, b"e")
+        assert meta.overlaps_user_range(b"e", None)
+        assert not meta.overlaps_user_range(b"a", b"c")
+        assert not meta.overlaps_user_range(b"i", b"z")
+
+    def test_json_roundtrip_with_zonemaps(self):
+        meta = _meta(7, "a", "b")
+        meta.secondary_zonemaps["UserID"] = ZoneMap(
+            encode_attribute("u1"), encode_attribute("u9"))
+        restored = FileMetaData.from_json(meta.to_json())
+        assert restored == meta
+
+
+class TestVersionEdit:
+    def test_encode_decode_roundtrip(self):
+        edit = VersionEdit(log_number=3, next_file_number=10,
+                           last_sequence=99)
+        edit.add_file(0, _meta(5, "a", "c"))
+        edit.delete_file(1, 2)
+        edit.compact_pointers.append(
+            (1, pack_internal_key(b"m", 1, KIND_VALUE)))
+        restored = VersionEdit.decode(edit.encode())
+        assert restored.log_number == 3
+        assert restored.next_file_number == 10
+        assert restored.last_sequence == 99
+        assert restored.deleted_files == [(1, 2)]
+        assert restored.new_files == edit.new_files
+        assert restored.compact_pointers == edit.compact_pointers
+
+    def test_decode_garbage(self):
+        with pytest.raises(CorruptionError):
+            VersionEdit.decode(b"not json at all {")
+
+
+class TestVersionSet:
+    def test_apply_adds_and_removes(self):
+        versions = VersionSet(Options())
+        edit = VersionEdit()
+        edit.add_file(0, _meta(1, "a", "m"))
+        edit.add_file(0, _meta(2, "n", "z"))
+        versions.apply(edit)
+        assert versions.current.num_files(0) == 2
+        edit2 = VersionEdit()
+        edit2.delete_file(0, 1)
+        edit2.add_file(1, _meta(3, "a", "m"))
+        versions.apply(edit2)
+        assert versions.current.num_files(0) == 1
+        assert versions.current.num_files(1) == 1
+
+    def test_level0_ordered_newest_file_first(self):
+        versions = VersionSet(Options())
+        edit = VersionEdit()
+        edit.add_file(0, _meta(1, "a", "z"))
+        edit.add_file(0, _meta(5, "a", "z"))
+        edit.add_file(0, _meta(3, "a", "z"))
+        versions.apply(edit)
+        assert [m.file_number for m in versions.current.levels[0]] == [5, 3, 1]
+
+    def test_deeper_levels_sorted_and_disjoint(self):
+        versions = VersionSet(Options())
+        edit = VersionEdit()
+        edit.add_file(1, _meta(2, "m", "r"))
+        edit.add_file(1, _meta(1, "a", "c"))
+        versions.apply(edit)
+        assert [m.file_number for m in versions.current.levels[1]] == [1, 2]
+
+    def test_overlap_invariant_enforced(self):
+        versions = VersionSet(Options())
+        edit = VersionEdit()
+        edit.add_file(1, _meta(1, "a", "m"))
+        edit.add_file(1, _meta(2, "m", "z"))  # shares boundary key "m"
+        with pytest.raises(CorruptionError):
+            versions.apply(edit)
+
+    def test_counters_monotone(self):
+        versions = VersionSet(Options())
+        versions.apply(VersionEdit(next_file_number=10, last_sequence=50))
+        versions.apply(VersionEdit(next_file_number=5, last_sequence=20))
+        assert versions.next_file_number == 10
+        assert versions.last_sequence == 50
+
+    def test_new_file_number_increments(self):
+        versions = VersionSet(Options())
+        assert versions.new_file_number() == 1
+        assert versions.new_file_number() == 2
+
+    def test_live_file_numbers(self):
+        versions = VersionSet(Options())
+        edit = VersionEdit()
+        edit.add_file(0, _meta(4, "a", "b"))
+        edit.add_file(2, _meta(9, "c", "d"))
+        versions.apply(edit)
+        assert versions.live_file_numbers() == {4, 9}
+
+
+class TestVersionQueries:
+    def _loaded(self):
+        versions = VersionSet(Options())
+        edit = VersionEdit()
+        edit.add_file(0, _meta(10, "c", "f"))
+        edit.add_file(0, _meta(11, "e", "k"))
+        edit.add_file(1, _meta(20, "a", "d"))
+        edit.add_file(1, _meta(21, "f", "j"))
+        edit.add_file(2, _meta(30, "a", "z"))
+        return versions.apply(edit)
+
+    def test_files_containing_key_level0_all_overlapping(self):
+        version = self._loaded()
+        numbers = [m.file_number
+                   for m in version.files_containing_key(0, b"e")]
+        assert numbers == [11, 10]
+
+    def test_files_containing_key_deep_level_binary_search(self):
+        version = self._loaded()
+        assert [m.file_number for m in version.files_containing_key(1, b"g")] \
+            == [21]
+        assert version.files_containing_key(1, b"e") == []
+
+    def test_overlapping_files_level1(self):
+        version = self._loaded()
+        numbers = [m.file_number
+                   for m in version.overlapping_files(1, b"c", b"g")]
+        assert numbers == [20, 21]
+
+    def test_overlapping_files_level0_transitive(self):
+        version = self._loaded()
+        # Asking for just "c".."d" pulls file 10, whose range extends to
+        # "f", which overlaps file 11 — so both are selected.
+        numbers = {m.file_number
+                   for m in version.overlapping_files(0, b"c", b"d")}
+        assert numbers == {10, 11}
+
+    def test_level_accounting(self):
+        version = self._loaded()
+        assert version.total_files() == 5
+        assert version.num_nonempty_levels() == 3
+        assert version.deepest_nonempty_level() == 2
+        assert version.level_size(1) == 2000
+
+    def test_compaction_score_prefers_overfull_l0(self):
+        versions = VersionSet(Options(l0_compaction_trigger=2))
+        edit = VersionEdit()
+        for number in (1, 2, 3, 4):
+            edit.add_file(0, _meta(number, "a", "z"))
+        versions.apply(edit)
+        score, level = versions.current.compaction_score()
+        assert level == 0
+        assert score == 2.0
+
+    def test_compaction_score_size_based(self):
+        versions = VersionSet(Options(l1_target_size=1000))
+        edit = VersionEdit()
+        edit.add_file(1, _meta(1, "a", "c", size=3000))
+        versions.apply(edit)
+        score, level = versions.current.compaction_score()
+        assert level == 1
+        assert score == 3.0

@@ -1,0 +1,126 @@
+"""Virtual filesystems and I/O accounting."""
+
+import pytest
+
+from repro.lsm.errors import NotFoundError
+from repro.lsm.vfs import (
+    Category,
+    DEVICE_BLOCK_SIZE,
+    IOStats,
+    LocalVFS,
+    MemoryVFS,
+)
+
+
+@pytest.fixture(params=["memory", "local"])
+def any_vfs(request, tmp_path):
+    if request.param == "memory":
+        return MemoryVFS()
+    return LocalVFS(str(tmp_path / "vfsroot"))
+
+
+class TestFileOperations:
+    def test_create_write_read(self, any_vfs):
+        handle = any_vfs.create("dir/file.bin")
+        handle.append(b"hello ")
+        handle.append(b"world")
+        handle.sync()
+        handle.close()
+        assert any_vfs.exists("dir/file.bin")
+        assert any_vfs.file_size("dir/file.bin") == 11
+        reader = any_vfs.open_random("dir/file.bin")
+        assert reader.read_at(0, 11) == b"hello world"
+        assert reader.read_at(6, 5) == b"world"
+        assert reader.size == 11
+        reader.close()
+
+    def test_read_whole_write_whole(self, any_vfs):
+        any_vfs.write_whole("f", b"payload")
+        assert any_vfs.read_whole("f") == b"payload"
+
+    def test_missing_file(self, any_vfs):
+        assert not any_vfs.exists("nope")
+        with pytest.raises(NotFoundError):
+            any_vfs.open_random("nope")
+        with pytest.raises(NotFoundError):
+            any_vfs.delete("nope")
+        with pytest.raises(NotFoundError):
+            any_vfs.file_size("nope")
+        with pytest.raises(NotFoundError):
+            any_vfs.rename("nope", "other")
+
+    def test_delete(self, any_vfs):
+        any_vfs.write_whole("f", b"x")
+        any_vfs.delete("f")
+        assert not any_vfs.exists("f")
+
+    def test_rename(self, any_vfs):
+        any_vfs.write_whole("old", b"data")
+        any_vfs.rename("old", "new")
+        assert not any_vfs.exists("old")
+        assert any_vfs.read_whole("new") == b"data"
+
+    def test_rename_overwrites(self, any_vfs):
+        any_vfs.write_whole("a", b"aaa")
+        any_vfs.write_whole("b", b"bbb")
+        any_vfs.rename("a", "b")
+        assert any_vfs.read_whole("b") == b"aaa"
+
+    def test_list_dir_with_prefix(self, any_vfs):
+        any_vfs.write_whole("db/000001.ldb", b"1")
+        any_vfs.write_whole("db/000002.log", b"2")
+        any_vfs.write_whole("other/file", b"3")
+        assert any_vfs.list_dir("db/") == ["db/000001.ldb", "db/000002.log"]
+
+    def test_total_size(self, any_vfs):
+        any_vfs.write_whole("db/a", b"12345")
+        any_vfs.write_whole("db/b", b"67")
+        assert any_vfs.total_size("db/") == 7
+
+
+class TestAccounting:
+    def test_reads_charged_in_device_blocks(self):
+        vfs = MemoryVFS()
+        vfs.write_whole("f", b"x" * (DEVICE_BLOCK_SIZE * 2 + 1))
+        vfs.reset_stats()
+        reader = vfs.open_random("f")
+        reader.read_at(0, 100, Category.DATA)
+        assert vfs.stats.read_blocks == 1
+        reader.read_at(0, DEVICE_BLOCK_SIZE + 1, Category.DATA)
+        assert vfs.stats.read_blocks == 3
+        assert vfs.stats.read_ops == 2
+
+    def test_category_split(self):
+        vfs = MemoryVFS()
+        handle = vfs.create("f")
+        handle.append(b"x" * 100, Category.WAL)
+        handle.append(b"y" * 100, Category.COMPACTION)
+        assert vfs.stats.writes_by_category["wal"] == 1
+        assert vfs.stats.writes_by_category["compaction"] == 1
+
+    def test_uncharged_read(self):
+        vfs = MemoryVFS()
+        vfs.write_whole("f", b"payload")
+        vfs.reset_stats()
+        reader = vfs.open_random("f")
+        assert reader.read_at(0, 7, charge=False) == b"payload"
+        assert vfs.stats.read_blocks == 0
+
+    def test_snapshot_and_delta(self):
+        stats = IOStats()
+        stats.record_read(100, Category.DATA)
+        before = stats.snapshot()
+        stats.record_read(5000, Category.INDEX)
+        stats.record_write(100, Category.FLUSH)
+        delta = stats.delta(before)
+        assert delta.read_ops == 1
+        assert delta.read_blocks == 2
+        assert delta.write_ops == 1
+        assert delta.reads_by_category == {"index": 2}
+        assert delta.total_blocks == 3
+
+    def test_zero_byte_access(self):
+        stats = IOStats()
+        stats.record_read(0, Category.DATA)
+        assert stats.read_blocks == 0
+        assert stats.read_ops == 1

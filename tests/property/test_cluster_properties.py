@@ -1,0 +1,99 @@
+"""Hypothesis properties for the distributed layer."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import IndexKind
+from repro.dist.cluster import ShardedDB
+from repro.dist.partitioner import HashPartitioner, RangePartitioner
+from repro.lsm.options import Options
+from repro.lsm.zonemap import encode_attribute
+
+_SETTINGS = settings(max_examples=15, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _options():
+    return Options(block_size=512, sstable_target_size=2 * 1024,
+                   memtable_budget=2 * 1024, l1_target_size=8 * 1024,
+                   compression="none")
+
+
+_ops = st.lists(
+    st.tuples(st.sampled_from(["put", "delete"]),
+              st.integers(min_value=0, max_value=40),
+              st.integers(min_value=0, max_value=6)),
+    max_size=120)
+
+
+class TestClusterEqualsModel:
+    @given(_ops, st.sampled_from(["local", "global"]),
+           st.integers(min_value=1, max_value=5))
+    @_SETTINGS
+    def test_cluster_matches_dict_model(self, operations, scope,
+                                        num_shards):
+        if scope == "local":
+            cluster = ShardedDB.open_memory(
+                num_shards=num_shards,
+                local_indexes={"u": IndexKind.LAZY}, options=_options())
+        else:
+            cluster = ShardedDB.open_memory(
+                num_shards=num_shards, global_indexes=("u",),
+                options=_options())
+        model = {}
+        for op, key_id, value_id in operations:
+            key = f"k{key_id:03d}"
+            if op == "put":
+                doc = {"u": f"u{value_id}"}
+                cluster.put(key, doc)
+                model[key] = doc
+            else:
+                cluster.delete(key)
+                model.pop(key, None)
+        for key_id in range(41):
+            key = f"k{key_id:03d}"
+            assert cluster.get(key) == model.get(key)
+        for value_id in range(7):
+            value = f"u{value_id}"
+            got = {r.key for r in cluster.lookup(
+                "u", value, early_termination=False)}
+            want = {key for key, doc in model.items() if doc["u"] == value}
+            assert got == want
+        cluster.close()
+
+
+class TestPartitionerProperties:
+    @given(st.binary(max_size=30), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_hash_in_range_and_stable(self, key, num_shards):
+        partitioner = HashPartitioner(num_shards)
+        shard = partitioner.shard_of(key)
+        assert 0 <= shard < num_shards
+        assert shard == partitioner.shard_of(key)
+
+    @given(st.sets(st.integers(min_value=-1000, max_value=1000),
+                   min_size=1, max_size=10),
+           st.integers(min_value=-1200, max_value=1200))
+    @settings(max_examples=100, deadline=None)
+    def test_range_shard_of_consistent_with_overlap(self, splits, probe):
+        encoded_splits = sorted(encode_attribute(s) for s in splits)
+        partitioner = RangePartitioner(encoded_splits)
+        encoded = encode_attribute(probe)
+        shard = partitioner.shard_of(encoded)
+        assert 0 <= shard < partitioner.num_shards
+        # The single-point "range" must resolve to exactly that shard.
+        assert partitioner.shards_overlapping(encoded, encoded) == [shard]
+
+    @given(st.sets(st.integers(min_value=0, max_value=100), min_size=1,
+                   max_size=8),
+           st.integers(min_value=-10, max_value=110),
+           st.integers(min_value=-10, max_value=110))
+    @settings(max_examples=100, deadline=None)
+    def test_range_overlap_covers_every_member_shard(self, splits, a, b):
+        low, high = (a, b) if a <= b else (b, a)
+        encoded_splits = sorted(encode_attribute(s) for s in splits)
+        partitioner = RangePartitioner(encoded_splits)
+        overlap = partitioner.shards_overlapping(
+            encode_attribute(low), encode_attribute(high))
+        for value in range(low, high + 1):
+            assert partitioner.shard_of(encode_attribute(value)) in overlap

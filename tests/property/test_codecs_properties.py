@@ -1,0 +1,126 @@
+"""Property-based tests for the low-level codecs (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.composite import make_composite_key, split_composite_key
+from repro.core.posting import (
+    PostingEntry,
+    decode_posting_list,
+    encode_posting_list,
+)
+from repro.lsm.keys import (
+    KIND_DELETE,
+    KIND_MERGE,
+    KIND_VALUE,
+    MAX_SEQUENCE,
+    decode_varint,
+    encode_varint,
+    pack_internal_key,
+    unpack_internal_key,
+)
+from repro.lsm.zonemap import decode_attribute, encode_attribute
+
+_kinds = st.sampled_from([KIND_DELETE, KIND_VALUE, KIND_MERGE])
+_attr_values = st.one_of(
+    st.integers(min_value=-(2**52), max_value=2**52),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e15, max_value=1e15),
+    st.text(max_size=50),
+)
+
+
+class TestVarint:
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_roundtrip(self, value):
+        decoded, offset = decode_varint(encode_varint(value))
+        assert decoded == value
+        assert offset == len(encode_varint(value))
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=20))
+    def test_concatenated_stream(self, values):
+        blob = b"".join(encode_varint(v) for v in values)
+        offset = 0
+        decoded = []
+        for _ in values:
+            value, offset = decode_varint(blob, offset)
+            decoded.append(value)
+        assert decoded == values
+        assert offset == len(blob)
+
+
+class TestInternalKeys:
+    @given(st.binary(max_size=64),
+           st.integers(min_value=0, max_value=MAX_SEQUENCE), _kinds)
+    def test_roundtrip(self, user_key, seq, kind):
+        ikey = unpack_internal_key(pack_internal_key(user_key, seq, kind))
+        assert (ikey.user_key, ikey.seq, ikey.kind) == (user_key, seq, kind)
+
+    @given(st.binary(max_size=16), st.binary(max_size=16),
+           st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=1000))
+    def test_order_matches_tuple_order(self, key_a, key_b, seq_a, seq_b):
+        ikey_a = unpack_internal_key(pack_internal_key(key_a, seq_a, KIND_VALUE))
+        ikey_b = unpack_internal_key(pack_internal_key(key_b, seq_b, KIND_VALUE))
+        want = (key_a, -seq_a) < (key_b, -seq_b)
+        assert (ikey_a.sort_key() < ikey_b.sort_key()) == want
+
+
+class TestAttributeEncoding:
+    @given(_attr_values)
+    def test_roundtrip(self, value):
+        decoded = decode_attribute(encode_attribute(value))
+        if isinstance(value, str):
+            assert decoded == value
+        else:
+            assert decoded == float(value)
+
+    @given(_attr_values, _attr_values)
+    def test_order_preserving_within_type(self, a, b):
+        both_numeric = isinstance(a, (int, float)) and \
+            isinstance(b, (int, float))
+        both_text = isinstance(a, str) and isinstance(b, str)
+        if both_numeric:
+            assert (encode_attribute(a) < encode_attribute(b)) == \
+                (float(a) < float(b))
+        elif both_text:
+            # UTF-8 byte order equals code-point order.
+            assert (encode_attribute(a) < encode_attribute(b)) == \
+                ([ord(c) for c in a] < [ord(c) for c in b])
+        else:
+            # Numbers always sort before strings.
+            numeric_first = isinstance(a, (int, float))
+            assert (encode_attribute(a) < encode_attribute(b)) == numeric_first
+
+
+class TestCompositeKeys:
+    @given(_attr_values, st.binary(max_size=40))
+    def test_roundtrip(self, value, primary_key):
+        encoded = encode_attribute(value)
+        got_attr, got_pk = split_composite_key(
+            make_composite_key(encoded, primary_key))
+        assert (got_attr, got_pk) == (encoded, primary_key)
+
+    @given(_attr_values, _attr_values,
+           st.text(max_size=10), st.text(max_size=10))
+    @settings(max_examples=200)
+    def test_order_preserving(self, value_a, value_b, pk_a, pk_b):
+        enc_a = encode_attribute(value_a)
+        enc_b = encode_attribute(value_b)
+        comp_a = make_composite_key(enc_a, pk_a.encode())
+        comp_b = make_composite_key(enc_b, pk_b.encode())
+        want = (enc_a, pk_a.encode()) < (enc_b, pk_b.encode())
+        assert (comp_a < comp_b) == want
+
+
+class TestPostingLists:
+    _entries = st.lists(
+        st.builds(PostingEntry,
+                  key=st.text(min_size=1, max_size=10),
+                  seq=st.integers(min_value=0, max_value=10**9),
+                  deleted=st.booleans()),
+        max_size=30)
+
+    @given(_entries)
+    def test_roundtrip(self, entries):
+        assert decode_posting_list(encode_posting_list(entries)) == entries

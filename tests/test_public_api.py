@@ -1,0 +1,35 @@
+"""The top-level package surface."""
+
+import repro
+
+
+class TestLazyExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_unknown_attribute(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            repro.not_a_real_export  # noqa: B018
+
+    def test_exports_are_the_real_objects(self):
+        from repro.core.database import SecondaryIndexedDB
+        from repro.lsm.db import DB
+
+        assert repro.DB is DB
+        assert repro.SecondaryIndexedDB is SecondaryIndexedDB
+
+    def test_readme_quickstart_works(self):
+        db = repro.SecondaryIndexedDB.open_memory(
+            indexes={"user_id": repro.IndexKind.LAZY})
+        db.put("t1", {"user_id": "u1", "text": "hello"})
+        db.put("t2", {"user_id": "u1", "text": "world"})
+        results = db.lookup("user_id", "u1", k=10)
+        assert [r.key for r in results] == ["t2", "t1"]
+        db.close()

@@ -1,0 +1,85 @@
+"""The maintenance CLI (python -m repro)."""
+
+import io
+
+import pytest
+
+from repro.lsm.db import DB
+from repro.lsm.manifest import table_file_name
+from repro.lsm.options import Options
+from repro.lsm.vfs import LocalVFS
+from repro.tools import main
+
+
+@pytest.fixture
+def populated_dir(tmp_path):
+    directory = str(tmp_path)
+    options = Options(block_size=1024, sstable_target_size=4 * 1024,
+                      memtable_budget=4 * 1024, l1_target_size=16 * 1024)
+    db = DB.open(LocalVFS(directory), "db", options)
+    for i in range(300):
+        db.put(f"k{i:04d}".encode(), f"value-{i}".encode())
+    db.flush()
+    db.close()
+    return directory
+
+
+class TestStats:
+    def test_reports_shape(self, populated_dir):
+        out = io.StringIO()
+        status = main(["stats", populated_dir, "db"], out)
+        text = out.getvalue()
+        assert status == 0
+        assert "last sequence:   300" in text
+        assert "L0:" in text or "L1:" in text
+        assert "total size:" in text
+
+
+class TestDump:
+    def test_dumps_in_key_order(self, populated_dir):
+        out = io.StringIO()
+        status = main(["dump", populated_dir, "db", "--limit", "5"], out)
+        text = out.getvalue()
+        assert status == 0
+        assert "b'k0000'" in text
+        assert "stopped at --limit 5" in text
+
+    def test_full_dump_counts_entries(self, populated_dir):
+        out = io.StringIO()
+        main(["dump", populated_dir, "db"], out)
+        assert "300 entries" in out.getvalue()
+
+
+class TestVerify:
+    def test_clean_database(self, populated_dir):
+        out = io.StringIO()
+        status = main(["verify", populated_dir, "db"], out)
+        assert status == 0
+        assert "OK" in out.getvalue()
+
+    def test_corrupted_database(self, populated_dir):
+        vfs = LocalVFS(populated_dir)
+        corrupted = None
+        for name in vfs.list_dir("db/"):
+            if name.endswith(".ldb"):
+                corrupted = name
+                break
+        assert corrupted is not None
+        import os
+
+        path = os.path.join(populated_dir, corrupted)
+        with open(path, "r+b") as handle:
+            handle.seek(40)
+            byte = handle.read(1)
+            handle.seek(40)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        out = io.StringIO()
+        status = main(["verify", populated_dir, "db"], out)
+        assert status == 1
+        assert "PROBLEM" in out.getvalue()
+
+
+class TestArgumentParsing:
+    def test_missing_command(self, populated_dir):
+        with pytest.raises(SystemExit):
+            main([], io.StringIO())

@@ -1,0 +1,172 @@
+"""Static and Mixed workload generators (Table 7)."""
+
+import pytest
+
+from repro.workloads.generator import (
+    MIXED_RATIOS,
+    MixedWorkload,
+    StaticWorkload,
+)
+from repro.workloads.ops import Get, Lookup, Put, RangeLookup
+from repro.workloads.tweets import SeedProfile
+
+
+class TestStaticWorkload:
+    def test_load_phase_covers_all_tweets(self):
+        workload = StaticWorkload(num_tweets=500, seed=1)
+        puts = list(workload.load_phase())
+        assert len(puts) == 500
+        assert all(isinstance(op, Put) for op in puts)
+        assert len({op.key for op in puts}) == 500
+
+    def test_gets_target_existing_keys(self):
+        workload = StaticWorkload(num_tweets=100, seed=2)
+        keys = {op.key for op in workload.load_phase()}
+        for op in workload.gets(50):
+            assert isinstance(op, Get)
+            assert op.key in keys
+
+    def test_lookups_use_existing_values(self):
+        workload = StaticWorkload(num_tweets=200, seed=3)
+        users = {doc["UserID"] for _key, doc in workload.tweets}
+        for op in workload.lookups(50, "UserID", k=7):
+            assert isinstance(op, Lookup)
+            assert op.value in users
+            assert op.k == 7
+
+    def test_user_range_width(self):
+        profile = SeedProfile(num_users=100)
+        workload = StaticWorkload(num_tweets=100, profile=profile, seed=4)
+        for op in workload.user_range_lookups(20, selectivity_users=10):
+            assert isinstance(op, RangeLookup)
+            width = int(op.high[1:]) - int(op.low[1:]) + 1
+            assert width == 10
+            assert 0 <= int(op.low[1:]) and int(op.high[1:]) < 100
+
+    def test_time_range_width(self):
+        workload = StaticWorkload(num_tweets=500, seed=5)
+        for op in workload.time_range_lookups(10, selectivity_minutes=2):
+            assert op.high - op.low == 120
+            assert op.attribute == "CreationTime"
+
+    def test_deterministic(self):
+        a = StaticWorkload(num_tweets=50, seed=9)
+        b = StaticWorkload(num_tweets=50, seed=9)
+        assert list(a.lookups(10)) == list(b.lookups(10))
+
+
+class TestMixedWorkload:
+    def test_table7_ratios_present(self):
+        assert set(MIXED_RATIOS) == {"write_heavy", "read_heavy",
+                                     "update_heavy"}
+        for ratios in MIXED_RATIOS.values():
+            assert sum(ratios.values()) == pytest.approx(1.0)
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            MixedWorkload(ratios={"put": 0.5, "get": 0.1, "lookup": 0.1,
+                                  "update": 0.1})
+
+    def test_operation_mix_approximates_ratios(self):
+        workload = MixedWorkload(
+            num_operations=5000, ratios=MIXED_RATIOS["read_heavy"], seed=6)
+        counts = {"put": 0, "get": 0, "lookup": 0, "update": 0}
+        for op in workload.operations():
+            if isinstance(op, Put):
+                counts["update" if op.is_update else "put"] += 1
+            elif isinstance(op, Get):
+                counts["get"] += 1
+            else:
+                counts["lookup"] += 1
+        total = sum(counts.values())
+        assert total == 5000
+        assert counts["get"] / total == pytest.approx(0.70, abs=0.03)
+        assert counts["lookup"] / total == pytest.approx(0.10, abs=0.02)
+        assert counts["update"] == 0
+
+    def test_update_heavy_produces_updates(self):
+        workload = MixedWorkload(
+            num_operations=3000, ratios=MIXED_RATIOS["update_heavy"], seed=7)
+        inserted = set()
+        updates = 0
+        for op in workload.operations():
+            if isinstance(op, Put):
+                if op.is_update:
+                    updates += 1
+                    assert op.key in inserted  # reuses an existing key
+                else:
+                    inserted.add(op.key)
+        assert updates / 3000 == pytest.approx(0.40, abs=0.03)
+
+    def test_gets_target_inserted_keys(self):
+        workload = MixedWorkload(num_operations=1000, seed=8)
+        inserted = set()
+        for op in workload.operations():
+            if isinstance(op, Put) and not op.is_update:
+                inserted.add(op.key)
+            elif isinstance(op, Get):
+                assert op.key in inserted
+
+    def test_deterministic(self):
+        a = list(MixedWorkload(num_operations=300, seed=11).operations())
+        b = list(MixedWorkload(num_operations=300, seed=11).operations())
+        assert a == b
+
+
+class TestDeleteRatio:
+    def test_deletes_target_inserted_keys(self):
+        from repro.workloads.ops import Delete
+
+        workload = MixedWorkload(
+            num_operations=2000,
+            ratios={"put": 0.5, "get": 0.2, "lookup": 0.1, "update": 0.0,
+                    "delete": 0.2},
+            seed=21)
+        inserted = set()
+        deletes = 0
+        for op in workload.operations():
+            if isinstance(op, Put) and not op.is_update:
+                inserted.add(op.key)
+            elif isinstance(op, Delete):
+                deletes += 1
+                assert op.key in inserted
+        assert deletes / 2000 == pytest.approx(0.2, abs=0.03)
+
+    def test_delete_ratio_runs_against_all_kinds(self):
+        from repro.core.base import IndexKind
+        from repro.core.database import SecondaryIndexedDB
+        from repro.lsm.options import Options
+        from repro.workloads.ops import Delete
+        from repro.workloads.runner import WorkloadRunner
+
+        options = Options(block_size=1024, sstable_target_size=4 * 1024,
+                          memtable_budget=4 * 1024,
+                          l1_target_size=16 * 1024)
+        for kind in (IndexKind.EAGER, IndexKind.LAZY, IndexKind.COMPOSITE):
+            db = SecondaryIndexedDB.open_memory(
+                indexes={"UserID": kind}, options=options)
+            workload = MixedWorkload(
+                num_operations=800,
+                ratios={"put": 0.5, "get": 0.2, "lookup": 0.1,
+                        "update": 0.0, "delete": 0.2},
+                profile=SeedProfile(num_users=20), seed=22)
+            live = {}
+            for op in workload.operations():
+                if isinstance(op, Put):
+                    db.put(op.key, op.document)
+                    live[op.key] = op.document
+                elif isinstance(op, Delete):
+                    db.delete(op.key)
+                    live.pop(op.key, None)
+                elif isinstance(op, Lookup):
+                    db.lookup(op.attribute, op.value, op.k)
+                else:
+                    db.get(op.key)
+            for user_index in range(5):
+                user = f"u{user_index:05d}"
+                got = {r.key for r in db.lookup(
+                    "UserID", user, early_termination=False)}
+                want = {key for key, doc in live.items()
+                        if doc["UserID"] == user}
+                assert got == want, (kind, user)
+            db.close()

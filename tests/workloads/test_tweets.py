@@ -1,0 +1,73 @@
+"""The synthetic tweet generator."""
+
+from repro.workloads.tweets import SeedProfile, TweetGenerator, rank_frequency
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = list(TweetGenerator(seed=7).tweets(100))
+        b = list(TweetGenerator(seed=7).tweets(100))
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        a = list(TweetGenerator(seed=7).tweets(100))
+        b = list(TweetGenerator(seed=8).tweets(100))
+        assert a != b
+
+
+class TestShape:
+    def test_tweet_ids_monotone_and_unique(self):
+        generator = TweetGenerator(seed=1)
+        ids = [key for key, _doc in generator.tweets(500)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 500
+        assert generator.existing_ids() == 500
+
+    def test_creation_time_is_time_correlated(self):
+        """The property zone maps depend on (Section 3)."""
+        times = [doc["CreationTime"]
+                 for _key, doc in TweetGenerator(seed=2).tweets(2000)]
+        assert times == sorted(times)
+
+    def test_rate_matches_profile(self):
+        profile = SeedProfile(avg_tweets_per_second=35.0)
+        times = [doc["CreationTime"]
+                 for _key, doc in TweetGenerator(profile, seed=3).tweets(7000)]
+        span = times[-1] - times[0]
+        rate = len(times) / max(1, span)
+        assert 20 < rate < 55  # ~35/s with uniform-rate noise
+
+    def test_users_within_profile(self):
+        profile = SeedProfile(num_users=50)
+        users = {doc["UserID"]
+                 for _key, doc in TweetGenerator(profile, seed=4).tweets(1000)}
+        assert all(0 <= int(user[1:]) < 50 for user in users)
+
+    def test_body_lengths_within_bounds(self):
+        profile = SeedProfile(body_length_min=10, body_length_max=20)
+        for _key, doc in TweetGenerator(profile, seed=5).tweets(200):
+            assert 10 <= len(doc["Body"]) <= 20
+
+
+class TestZipfDistribution:
+    def test_rank_frequency_is_heavy_tailed(self):
+        """Figure 7's power-law shape: the top user posts far more than the
+        median user."""
+        profile = SeedProfile(num_users=500, zipf_exponent=1.0)
+        docs = [doc for _key, doc in
+                TweetGenerator(profile, seed=6).tweets(20000)]
+        rf = rank_frequency(docs)
+        top_frequency = rf[0][1]
+        median_frequency = rf[len(rf) // 2][1]
+        assert top_frequency > 10 * median_frequency
+
+    def test_rank_frequency_sorted(self):
+        docs = [doc for _key, doc in TweetGenerator(seed=6).tweets(1000)]
+        rf = rank_frequency(docs)
+        frequencies = [frequency for _rank, frequency in rf]
+        assert frequencies == sorted(frequencies, reverse=True)
+        assert [rank for rank, _f in rf] == list(range(1, len(rf) + 1))
+
+    def test_rank_frequency_custom_attribute(self):
+        docs = [{"x": "a"}, {"x": "a"}, {"x": "b"}, {"y": 1}]
+        assert rank_frequency(docs, "x") == [(1, 2), (2, 1)]

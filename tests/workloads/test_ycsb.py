@@ -1,0 +1,116 @@
+"""YCSB core workloads."""
+
+import pytest
+
+from repro.core.base import IndexKind
+from repro.core.database import SecondaryIndexedDB
+from repro.lsm.options import Options
+from repro.workloads.ops import Get, Put, RangeLookup
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.ycsb import CORE_WORKLOADS, YCSBWorkload, ZipfianGenerator
+
+
+class TestZipfianGenerator:
+    def test_in_range(self):
+        import random
+
+        zipf = ZipfianGenerator(100, rng=random.Random(1))
+        for _ in range(500):
+            assert 0 <= zipf.next() < 100
+
+    def test_head_heavier_than_tail(self):
+        import random
+
+        zipf = ZipfianGenerator(1000, rng=random.Random(2))
+        draws = [zipf.next() for _ in range(5000)]
+        head = sum(1 for draw in draws if draw < 10)
+        tail = sum(1 for draw in draws if draw >= 990)
+        assert head > 10 * max(1, tail)
+
+    def test_grow(self):
+        zipf = ZipfianGenerator(10)
+        zipf.grow(20)
+        assert zipf.n == 20
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+
+
+class TestWorkloadDefinitions:
+    def test_all_mixes_sum_to_one(self):
+        for name, mix in CORE_WORKLOADS.items():
+            assert sum(mix.values()) == pytest.approx(1.0), name
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            YCSBWorkload(workload="Z")
+
+
+class TestOperationStreams:
+    def test_load_phase_first(self):
+        workload = YCSBWorkload("A", record_count=50, operation_count=100,
+                                seed=3)
+        ops = list(workload.operations())
+        load = ops[:50]
+        assert all(isinstance(op, Put) and not op.is_update for op in load)
+        assert workload.produced["load"] == 50
+
+    def test_mix_approximates_definition(self):
+        workload = YCSBWorkload("B", record_count=100,
+                                operation_count=4000, seed=4)
+        list(workload.operations())
+        reads = workload.produced["read"]
+        updates = workload.produced.get("update", 0)
+        assert reads / (reads + updates) == pytest.approx(0.95, abs=0.02)
+
+    def test_workload_c_read_only(self):
+        workload = YCSBWorkload("C", record_count=50, operation_count=500,
+                                seed=5)
+        transactions = list(workload.operations())[50:]
+        assert all(isinstance(op, Get) for op in transactions)
+
+    def test_workload_e_scans(self):
+        workload = YCSBWorkload("E", record_count=100,
+                                operation_count=400, seed=6)
+        transactions = list(workload.operations())[100:]
+        scans = [op for op in transactions if isinstance(op, RangeLookup)]
+        assert scans
+        for scan in scans[:20]:
+            assert scan.attribute == "_key"
+            assert scan.low < scan.high
+
+    def test_workload_f_rmw_pairs(self):
+        workload = YCSBWorkload("F", record_count=50, operation_count=300,
+                                seed=7)
+        transactions = list(workload.operations())[50:]
+        # Every rmw yields a Get immediately followed by an update Put of
+        # the same key.
+        for i, op in enumerate(transactions[:-1]):
+            if isinstance(op, Get) and isinstance(transactions[i + 1], Put) \
+                    and transactions[i + 1].is_update:
+                assert transactions[i + 1].key == op.key
+
+    def test_deterministic(self):
+        a = list(YCSBWorkload("A", 50, 200, seed=9).operations())
+        b = list(YCSBWorkload("A", 50, 200, seed=9).operations())
+        assert a == b
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", sorted(CORE_WORKLOADS))
+    def test_runs_against_database(self, name):
+        options = Options(block_size=1024, sstable_target_size=4 * 1024,
+                          memtable_budget=4 * 1024,
+                          l1_target_size=16 * 1024)
+        db = SecondaryIndexedDB.open_memory(
+            indexes={"_key": IndexKind.COMPOSITE}, options=options)
+        workload = YCSBWorkload(name, record_count=150,
+                                operation_count=400, seed=11)
+        report = WorkloadRunner(db, sample_every=10**9).run(
+            workload.operations())
+        assert report.total_ops >= 550
+        # Spot-check: every loaded record is retrievable afterwards.
+        assert db.get(YCSBWorkload.key_of(0)) is not None
+        assert db.get(YCSBWorkload.key_of(149)) is not None
+        db.close()
