@@ -16,23 +16,35 @@ techniques are implemented.  It mirrors the architecture of Google's LevelDB
 * a versioned **manifest** for crash-consistent metadata
   (:mod:`repro.lsm.version`, :mod:`repro.lsm.manifest`), and
 * a **virtual filesystem** that meters every block read and write so that
-  experiments report deterministic I/O counts (:mod:`repro.lsm.vfs`).
+  experiments report deterministic I/O counts (:mod:`repro.lsm.vfs`), plus a
+  **fault-injecting** variant that simulates power loss and torn writes for
+  crash-recovery drills (:mod:`repro.lsm.faults`).
 
 The public entry point is :class:`repro.lsm.db.DB`.
 """
 
 from repro.lsm.db import DB
-from repro.lsm.errors import CorruptionError, InvalidArgumentError, LSMError
+from repro.lsm.errors import (
+    CorruptionError,
+    FaultInjectedError,
+    InvalidArgumentError,
+    LSMError,
+    SimulatedCrashError,
+)
+from repro.lsm.faults import FaultInjectingVFS
 from repro.lsm.options import Options
 from repro.lsm.vfs import IOStats, LocalVFS, MemoryVFS
 
 __all__ = [
     "DB",
     "CorruptionError",
+    "FaultInjectedError",
+    "FaultInjectingVFS",
     "InvalidArgumentError",
     "IOStats",
     "LSMError",
     "LocalVFS",
     "MemoryVFS",
     "Options",
+    "SimulatedCrashError",
 ]

@@ -51,6 +51,11 @@ class LRUCache:
 
     def put(self, key: Hashable, value: Any, size: int) -> None:
         if self.capacity <= 0 or size > self.capacity:
+            # The new value is uncacheable, but a previously cached value
+            # under the same key is now stale and must not be served.
+            stale = self._entries.pop(key, None)
+            if stale is not None:
+                self._used -= stale[1]
             return
         old = self._entries.pop(key, None)
         if old is not None:
@@ -157,8 +162,16 @@ class BufferCacheSimulator(VFS):
         return self.base.file_size(name)
 
     def reset_stats(self) -> None:
+        """Start a fresh measurement epoch: zero I/O meters and hit/miss.
+
+        Resident pages deliberately survive — a real OS page cache stays
+        warm across an experiment's measurement boundary; only the
+        counters are epoch-scoped.
+        """
         self.base.reset_stats()
         self.stats = self.base.stats
+        self.hits = 0
+        self.misses = 0
 
 
 class _CachedWritable(WritableFile):

@@ -5,6 +5,8 @@ and ``ldb verify`` do, without mutating anything:
 
 * **manifest vs filesystem** — every live table file exists, no live file
   is missing, sizes match the manifest;
+* **orphan audit** — no stale engine files (dead tables, old WALs or
+  manifests, a stranded ``CURRENT.tmp``) survive past recovery's cleanup;
 * **per-table physical checks** — footer magic, CRC of every block;
 * **per-table logical checks** — entries in internal-key order, entry
   counts and key bounds matching the manifest metadata, sequence numbers
@@ -54,10 +56,16 @@ def verify_integrity(db: DB) -> IntegrityReport:
     report = IntegrityReport()
     version = db.versions.current
     _check_manifest_vs_files(db, report)
+    _check_orphans(db, report)
     _check_level_invariants(db, report)
     for level, meta in version.all_files():
         _check_table(db, level, meta, report)
     return report
+
+
+def _file_number(base: str) -> int | None:
+    stem = base.split(".")[0]
+    return int(stem) if stem.isdigit() else None
 
 
 def _check_manifest_vs_files(db: DB, report: IntegrityReport) -> None:
@@ -66,7 +74,9 @@ def _check_manifest_vs_files(db: DB, report: IntegrityReport) -> None:
     for name in db.vfs.list_dir(db.name + "/"):
         base = name.rsplit("/", 1)[-1]
         if base.endswith(".ldb"):
-            on_disk[int(base.split(".")[0])] = name
+            number = _file_number(base)
+            if number is not None:
+                on_disk[number] = name
     for number in live:
         if number not in on_disk:
             report.problem(f"live table {number} missing from filesystem")
@@ -78,6 +88,35 @@ def _check_manifest_vs_files(db: DB, report: IntegrityReport) -> None:
                 report.problem(
                     f"table {meta.file_number}: manifest size "
                     f"{meta.file_size} != file size {actual}")
+
+
+def _check_orphans(db: DB, report: IntegrityReport) -> None:
+    """Flag engine files that recovery should have cleaned up.
+
+    Non-engine-shaped names (a user's stray notes, say) are outside the
+    engine's purview and are ignored, matching recovery's skip-with-warning
+    policy.
+    """
+    from repro.lsm.manifest import current_tmp_file_name
+
+    live = db.versions.live_file_numbers()
+    for name in db.vfs.list_dir(db.name + "/"):
+        base = name.rsplit("/", 1)[-1]
+        if name == current_tmp_file_name(db.name):
+            report.problem("stranded CURRENT.tmp (interrupted install)")
+        elif base.endswith(".ldb"):
+            number = _file_number(base)
+            if number is not None and number not in live:
+                report.problem(f"orphaned table file {name}")
+        elif base.endswith(".log"):
+            number = _file_number(base)
+            if number is not None and number != db._log_number:
+                report.problem(f"orphaned log file {name}")
+        elif base.startswith("MANIFEST-"):
+            suffix = base.split("-", 1)[1]
+            if db._manifest is not None and suffix.isdigit() and \
+                    int(suffix) != db._manifest.number:
+                report.problem(f"orphaned manifest file {name}")
 
 
 def _check_level_invariants(db: DB, report: IntegrityReport) -> None:

@@ -139,8 +139,18 @@ class Compactor:
 
     # -- flush ----------------------------------------------------------------
 
-    def flush_memtable(self, memtable) -> FileMetaData | None:
-        """Write the MemTable's contents as one new level-0 SSTable."""
+    def flush_memtable(self, memtable,
+                       log_number: int | None = None) -> FileMetaData | None:
+        """Write the MemTable's contents as one new level-0 SSTable.
+
+        ``log_number``, when given, rides along in the *same* version edit
+        that makes the table live.  The pairing is a crash-consistency
+        invariant: if the table (holding the WAL's contents) commits, the
+        WAL is simultaneously retired — recording them in separate edits
+        would let a crash land between the two, and recovery would then
+        replay a WAL whose writes are already in the table (merge operands
+        would fold twice).
+        """
         if memtable.is_empty():
             return None
         file_number = self.versions.new_file_number()
@@ -155,6 +165,10 @@ class Compactor:
             key = pack_internal_key(entry.user_key, entry.seq, entry.kind)
             builder.add(key, entry.value)
         props = builder.finish()
+        # The manifest edit below durably records this table as live; the
+        # table's bytes must reach stable storage first, or a crash could
+        # leave a live-but-torn file.
+        out.sync()
         out.close()
         meta = FileMetaData(
             file_number=file_number,
@@ -166,7 +180,7 @@ class Compactor:
             num_entries=props.num_entries,
             secondary_zonemaps=props.secondary_zonemaps,
         )
-        edit = VersionEdit()
+        edit = VersionEdit(log_number=log_number)
         edit.add_file(0, meta)
         self._log_and_apply(edit)
         self.stats.flush_count += 1
@@ -347,6 +361,7 @@ class _OutputWriter:
         if self._builder is None:
             return
         props = self._builder.finish()
+        self._out.sync()  # durable before the manifest edit names it live
         self._out.close()
         self.outputs.append(FileMetaData(
             file_number=self._file_number,

@@ -21,6 +21,7 @@ due compactions run inline in the writing call.
 
 from __future__ import annotations
 
+import logging
 from typing import Any, Callable, Iterator
 
 from repro.lsm.compaction import Compaction, Compactor
@@ -45,6 +46,7 @@ from repro.lsm.keys import (
 )
 from repro.lsm.manifest import (
     ManifestWriter,
+    current_tmp_file_name,
     log_file_name,
     recover_version_set,
 )
@@ -56,6 +58,19 @@ from repro.lsm.version import VersionEdit, VersionSet
 from repro.lsm.wal import LogReader, LogWriter
 
 FlushListener = Callable[[int], None]
+
+logger = logging.getLogger(__name__)
+
+
+def _parse_file_number(base: str) -> int | None:
+    """File number encoded in a ``NNNNNN.ldb``/``NNNNNN.log`` basename.
+
+    Returns ``None`` for names the engine did not produce (editor
+    droppings, half-renamed scratch files): recovery must tolerate them,
+    not crash on them.
+    """
+    stem = base.split(".")[0]
+    return int(stem) if stem.isdigit() else None
 
 
 class WriteBatch:
@@ -162,6 +177,16 @@ class DB:
         existed = recover_version_set(self.vfs, self.name, self.versions)
         if existed:
             self._replay_logs()
+            if not self.memtable.is_empty():
+                # Persist replayed writes as a level-0 table *before* the
+                # fresh manifest below advances the log number and the old
+                # WALs are deleted.  Without this, recovered writes lived
+                # only in the MemTable while their WAL was already gone —
+                # a second crash (or even a clean close without a flush)
+                # lost them permanently.  LevelDB likewise writes level-0
+                # tables from recovered logs during open.
+                self.compactor.flush_memtable(self.memtable)
+                self.memtable = MemTable()
         new_manifest_number = self.versions.new_file_number()
         self._manifest = ManifestWriter(self.vfs, self.name,
                                         new_manifest_number)
@@ -189,7 +214,10 @@ class DB:
         log_names = [name for name in self.vfs.list_dir(self.name + "/")
                      if name.endswith(".log")]
         for name in sorted(log_names):
-            number = int(name.rsplit("/", 1)[-1].split(".")[0])
+            number = _parse_file_number(name.rsplit("/", 1)[-1])
+            if number is None:
+                logger.warning("ignoring unrecognized log file %r", name)
+                continue
             if number < self.versions.log_number:
                 continue
             reader = LogReader(self.vfs.open_random(name))
@@ -203,26 +231,44 @@ class DB:
 
     def _delete_obsolete_files(self) -> None:
         live = self.versions.live_file_numbers()
+        tmp = current_tmp_file_name(self.name)
         for name in self.vfs.list_dir(self.name + "/"):
             base = name.rsplit("/", 1)[-1]
-            if base.endswith(".ldb"):
-                number = int(base.split(".")[0])
-                if number not in live:
+            if name == tmp:
+                # A crash between writing CURRENT.tmp and renaming it over
+                # CURRENT strands the scratch file; it is never meaningful
+                # after open.
+                self.vfs.delete_if_exists(name)
+            elif base.endswith(".ldb"):
+                number = _parse_file_number(base)
+                if number is None:
+                    logger.warning("ignoring unrecognized table file %r",
+                                   name)
+                elif number not in live:
                     self.table_cache.evict(number)
-                    self.vfs.delete(name)
+                    self.vfs.delete_if_exists(name)
             elif base.endswith(".log"):
-                number = int(base.split(".")[0])
-                if number < self._log_number:
-                    self.vfs.delete(name)
+                number = _parse_file_number(base)
+                if number is None:
+                    logger.warning("ignoring unrecognized log file %r", name)
+                elif number < self._log_number:
+                    self.vfs.delete_if_exists(name)
             elif base.startswith("MANIFEST-"):
                 assert self._manifest is not None
-                if int(base.split("-")[1]) != self._manifest.number:
-                    self.vfs.delete(name)
+                suffix = base.split("-", 1)[1]
+                if not suffix.isdigit():
+                    logger.warning("ignoring unrecognized manifest file %r",
+                                   name)
+                elif int(suffix) != self._manifest.number:
+                    self.vfs.delete_if_exists(name)
 
     def close(self) -> None:
         if self._closed:
             return
         if self._log is not None:
+            # A clean shutdown must not lose acknowledged writes even with
+            # sync_writes off: push the WAL tail to stable storage first.
+            self._log.sync()
             self._log.close()
         if self._manifest is not None:
             self._manifest.close()
@@ -303,18 +349,23 @@ class DB:
         if self.memtable.is_empty():
             return
         flushed_max_seq = self.memtable.max_seq or 0
-        self.compactor.flush_memtable(self.memtable)
-        self.memtable = MemTable()
         old_log_number = self._log_number
         assert self._log is not None
         self._log.close()
         self._log_number = self.versions.new_file_number()
-        self.versions.log_number = self._log_number
         self._log = LogWriter(
             self.vfs.create(log_file_name(self.name, self._log_number)),
             sync=self.options.sync_writes)
-        self._log_and_apply(VersionEdit(log_number=self._log_number))
-        self.vfs.delete(log_file_name(self.name, old_log_number))
+        # One edit makes the table live AND retires the old WAL.  Two
+        # separate edits would open a crash window where the table is live
+        # but the manifest still points at the old log: recovery would
+        # replay writes already in the table, folding merge operands twice.
+        self.compactor.flush_memtable(self.memtable,
+                                      log_number=self._log_number)
+        self.memtable = MemTable()
+        # A crash-interrupted earlier flush (or recovery's own cleanup) may
+        # have removed the previous WAL already.
+        self.vfs.delete_if_exists(log_file_name(self.name, old_log_number))
         for listener in self._flush_listeners:
             listener(flushed_max_seq)
         if not self.options.disable_auto_compaction:
@@ -323,7 +374,12 @@ class DB:
     def _log_and_apply(self, edit: VersionEdit) -> None:
         edit.next_file_number = self.versions.next_file_number
         edit.last_sequence = self.versions.last_sequence
-        assert self._manifest is not None
+        if self._manifest is None:
+            # Recovery-time flush: the manifest does not exist yet.  The
+            # self-contained snapshot edit written right after captures the
+            # applied state, so nothing is lost by skipping the log.
+            self.versions.apply(edit)
+            return
         self._manifest.log_edit(edit)
         self.versions.apply(edit)
         if self._manifest.size > self.options.max_manifest_size:
@@ -354,7 +410,8 @@ class DB:
         new_manifest.log_edit(snapshot)
         new_manifest.install_as_current()
         old_manifest.close()
-        self.vfs.delete(manifest_file_name(self.name, old_manifest.number))
+        self.vfs.delete_if_exists(
+            manifest_file_name(self.name, old_manifest.number))
         self._manifest = new_manifest
 
     def add_flush_listener(self, listener: FlushListener) -> None:
@@ -633,6 +690,20 @@ class DB:
         manifest.install_as_current()
         manifest.close()
         return copied
+
+    def verify_integrity(self):
+        """Audit the database's persistent state; see :mod:`repro.lsm.checker`.
+
+        Checks manifest-vs-filesystem agreement (including orphaned engine
+        files left by an interrupted crash recovery), per-table physical and
+        logical invariants, and cross-table level invariants.  Returns an
+        :class:`~repro.lsm.checker.IntegrityReport`; ``report.ok`` means the
+        database is sound.
+        """
+        self._check_open()
+        from repro.lsm.checker import verify_integrity
+
+        return verify_integrity(self)
 
     def approximate_size(self) -> int:
         """Total bytes of all files belonging to this database."""

@@ -46,3 +46,22 @@ class WriteStallError(LSMError):
     up.  The synchronous engine compacts inline, so in practice this error
     signals a configuration problem (for example a zero-size level budget).
     """
+
+
+class FaultInjectedError(LSMError, IOError):
+    """A write failed because the fault-injection harness said so.
+
+    Raised by :class:`~repro.lsm.faults.FaultInjectingVFS` in place of the
+    ``EIO`` a real disk would return.  Subclasses :class:`IOError` so code
+    written against the OS error taxonomy behaves identically under test.
+    """
+
+
+class SimulatedCrashError(FaultInjectedError):
+    """The simulated machine has crashed; all further I/O fails.
+
+    Once raised, the originating :class:`~repro.lsm.faults.FaultInjectingVFS`
+    refuses every subsequent operation with the same error, so in-flight
+    work unwinds exactly as it would on a kernel panic.  Recovery proceeds
+    from :meth:`~repro.lsm.faults.FaultInjectingVFS.crash_image`.
+    """

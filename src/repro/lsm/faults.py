@@ -1,0 +1,293 @@
+"""Fault injection and crash simulation on top of the metered VFS.
+
+The paper's experiments assume an engine that survives month-long runs on
+real disks, so the WAL/manifest recovery paths must hold up under power
+loss, not just clean shutdowns.  :class:`FaultInjectingVFS` makes crashes a
+first-class, deterministic test input:
+
+* **Scheduled faults** — :meth:`~FaultInjectingVFS.schedule_write_error`
+  makes the *N*-th mutating operation fail with
+  :class:`~repro.lsm.errors.FaultInjectedError` (the ``EIO`` case);
+  :meth:`~FaultInjectingVFS.schedule_crash` instead raises
+  :class:`~repro.lsm.errors.SimulatedCrashError` and freezes the
+  filesystem: every later operation fails the same way, so in-flight work
+  unwinds exactly as on a kernel panic.
+
+* **Durability tracking** — every file records how many of its bytes have
+  been ``sync()``\\ ed.  :meth:`~FaultInjectingVFS.crash_image` snapshots
+  what a post-crash disk would hold: synced prefixes always survive;
+  un-synced appends are dropped (``unsynced="drop"``), kept up to a 4 KiB
+  device-page boundary (``unsynced="torn"``, the half-written tail the
+  WAL's per-fragment CRCs exist to detect), or kept whole
+  (``unsynced="keep"``, the lucky case where the page cache drained first).
+  Metadata operations (create/delete/rename) model a journaling filesystem:
+  they are durable as soon as they are applied.
+
+* **Crash-point enumeration** — :func:`count_mutations` runs a workload
+  once to learn its deterministic operation schedule; iterating
+  :func:`crash_points` and calling :func:`run_until_crash` then replays the
+  workload, crashing before each operation in turn, for exhaustive
+  recovery drills (see ``tests/property/test_crash_consistency.py``).
+
+The wrapper is a complete :class:`~repro.lsm.vfs.VFS`, so a whole
+:class:`~repro.lsm.db.DB` stack runs on it unmodified and I/O metering
+keeps working.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.lsm.errors import (
+    FaultInjectedError,
+    NotFoundError,
+    SimulatedCrashError,
+)
+from repro.lsm.vfs import (
+    DEVICE_BLOCK_SIZE,
+    Category,
+    MemoryVFS,
+    RandomAccessFile,
+    VFS,
+    WritableFile,
+)
+
+#: Modes for what happens to un-synced appended bytes at a crash.
+UNSYNCED_MODES = ("drop", "torn", "keep")
+
+Workload = Callable[[VFS], None]
+
+
+class _FaultedFile:
+    """Backing store for one file: its bytes plus the synced watermark."""
+
+    __slots__ = ("data", "durable")
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+        self.durable = 0
+
+    def surviving_length(self, unsynced: str) -> int:
+        if unsynced == "keep":
+            return len(self.data)
+        if unsynced == "torn":
+            # Whole 4 KiB device pages of the un-synced tail may have hit
+            # the platter before power died; partial pages never survive.
+            page_aligned = (len(self.data) // DEVICE_BLOCK_SIZE) \
+                * DEVICE_BLOCK_SIZE
+            return max(self.durable, min(page_aligned, len(self.data)))
+        if unsynced == "drop":
+            return self.durable
+        raise ValueError(f"unknown unsynced mode: {unsynced!r}")
+
+
+class FaultInjectingVFS(VFS):
+    """In-memory VFS that can fail writes on schedule and simulate crashes.
+
+    Mutating operations (create, append, sync, delete, rename) are counted;
+    reads are free.  ``op_count`` after a fault-free run is therefore the
+    number of enumerable crash points of a workload.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._files: dict[str, _FaultedFile] = {}
+        self.op_count = 0
+        self.crashed = False
+        self._fail_at: int | None = None
+        self._fail_mode = "crash"
+
+    # -- fault scheduling ----------------------------------------------------
+
+    def schedule_crash(self, at_op: int) -> None:
+        """Crash the machine just before mutating operation ``at_op`` (1-based)."""
+        if at_op < 1:
+            raise ValueError("at_op is 1-based")
+        self._fail_at = at_op
+        self._fail_mode = "crash"
+
+    def schedule_write_error(self, at_op: int) -> None:
+        """Fail mutating operation ``at_op`` once; later operations succeed."""
+        if at_op < 1:
+            raise ValueError("at_op is 1-based")
+        self._fail_at = at_op
+        self._fail_mode = "error"
+
+    def _mutate(self) -> None:
+        """Gate every mutating operation: count it, maybe fault, maybe crash."""
+        if self.crashed:
+            raise SimulatedCrashError("filesystem is down (simulated crash)")
+        self.op_count += 1
+        if self._fail_at is not None and self.op_count == self._fail_at:
+            self._fail_at = None
+            if self._fail_mode == "crash":
+                self.crashed = True
+                raise SimulatedCrashError(
+                    f"simulated crash at mutating op {self.op_count}")
+            raise FaultInjectedError(
+                f"injected write failure at mutating op {self.op_count}")
+
+    def _check_up(self) -> None:
+        if self.crashed:
+            raise SimulatedCrashError("filesystem is down (simulated crash)")
+
+    # -- crash imaging -------------------------------------------------------
+
+    def crash_image(self, unsynced: str = "drop") -> MemoryVFS:
+        """A fresh :class:`MemoryVFS` holding what survives power loss.
+
+        ``unsynced`` picks the fate of appended-but-never-synced bytes:
+        ``"drop"`` loses them all, ``"torn"`` keeps whole 4 KiB pages of the
+        tail (a torn write), ``"keep"`` keeps everything.  Synced bytes and
+        applied metadata operations always survive.
+        """
+        image = MemoryVFS()
+        for name, file in self._files.items():
+            image._files[name] = bytearray(
+                file.data[:file.surviving_length(unsynced)])
+        return image
+
+    def reboot(self, unsynced: str = "drop") -> None:
+        """Apply :meth:`crash_image` semantics in place and come back up."""
+        for file in self._files.values():
+            del file.data[file.surviving_length(unsynced):]
+            file.durable = len(file.data)
+        self.crashed = False
+        self._fail_at = None
+
+    def durable_size(self, name: str) -> int:
+        """Bytes of ``name`` guaranteed to survive a crash right now."""
+        if name not in self._files:
+            raise NotFoundError(f"no such file: {name}")
+        return self._files[name].durable
+
+    # -- VFS interface -------------------------------------------------------
+
+    def create(self, name: str) -> WritableFile:
+        self._mutate()
+        file = _FaultedFile()
+        self._files[name] = file
+        return _FaultedWritable(self, name, file)
+
+    def open_random(self, name: str) -> RandomAccessFile:
+        self._check_up()
+        if name not in self._files:
+            raise NotFoundError(f"no such file: {name}")
+        return _FaultedRandomAccess(self, self._files[name])
+
+    def exists(self, name: str) -> bool:
+        self._check_up()
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        self._check_up()
+        if name not in self._files:
+            raise NotFoundError(f"no such file: {name}")
+        self._mutate()
+        del self._files[name]
+
+    def rename(self, old: str, new: str) -> None:
+        self._check_up()
+        if old not in self._files:
+            raise NotFoundError(f"no such file: {old}")
+        self._mutate()
+        self._files[new] = self._files.pop(old)
+
+    def list_dir(self, prefix: str = "") -> list[str]:
+        self._check_up()
+        return sorted(name for name in self._files if name.startswith(prefix))
+
+    def file_size(self, name: str) -> int:
+        self._check_up()
+        if name not in self._files:
+            raise NotFoundError(f"no such file: {name}")
+        return len(self._files[name].data)
+
+
+class _FaultedWritable(WritableFile):
+    def __init__(self, vfs: FaultInjectingVFS, name: str,
+                 file: _FaultedFile) -> None:
+        self._vfs = vfs
+        self._name = name
+        self._file = file
+        self._closed = False
+
+    def append(self, data: bytes, category: Category = Category.OTHER) -> None:
+        if self._closed:
+            raise ValueError(f"file already closed: {self._name}")
+        self._vfs._mutate()
+        self._file.data.extend(data)
+        self._vfs.stats.record_write(len(data), category)
+
+    def flush(self) -> None:
+        return None  # library-buffer flush: no device visibility
+
+    def sync(self) -> None:
+        self._vfs._mutate()
+        self._file.durable = len(self._file.data)
+
+    def close(self) -> None:
+        # Closing is always safe (even post-crash): it promises no
+        # durability, exactly like POSIX close(2) without fsync.
+        self._closed = True
+
+    @property
+    def size(self) -> int:
+        return len(self._file.data)
+
+
+class _FaultedRandomAccess(RandomAccessFile):
+    def __init__(self, vfs: FaultInjectingVFS, file: _FaultedFile) -> None:
+        self._vfs = vfs
+        self._file = file
+
+    def read_at(self, offset: int, length: int,
+                category: Category = Category.DATA,
+                charge: bool = True) -> bytes:
+        self._vfs._check_up()
+        data = bytes(self._file.data[offset:offset + length])
+        if charge:
+            self._vfs.stats.record_read(len(data), category)
+        return data
+
+    def close(self) -> None:
+        return None
+
+    @property
+    def size(self) -> int:
+        return len(self._file.data)
+
+
+# -- crash-point enumeration -----------------------------------------------
+
+
+def count_mutations(workload: Workload) -> int:
+    """Run ``workload`` once, fault-free, and count its mutating operations.
+
+    The engine is deterministic, so this count is stable across runs and
+    defines the crash-point schedule for :func:`run_until_crash`.
+    """
+    vfs = FaultInjectingVFS()
+    workload(vfs)
+    return vfs.op_count
+
+
+def crash_points(workload: Workload) -> range:
+    """Every crash point of ``workload``: 1-based mutating-op indices."""
+    return range(1, count_mutations(workload) + 1)
+
+
+def run_until_crash(workload: Workload, at_op: int) -> FaultInjectingVFS:
+    """Replay ``workload`` on a fresh VFS, crashing before op ``at_op``.
+
+    Returns the crashed (or, if ``at_op`` lies beyond the workload's
+    schedule, completed) filesystem; recover from
+    :meth:`FaultInjectingVFS.crash_image`.
+    """
+    vfs = FaultInjectingVFS()
+    vfs.schedule_crash(at_op)
+    try:
+        workload(vfs)
+    except SimulatedCrashError:
+        pass
+    return vfs

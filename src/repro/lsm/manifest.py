@@ -23,6 +23,11 @@ def current_file_name(db_name: str) -> str:
     return f"{db_name}/CURRENT"
 
 
+def current_tmp_file_name(db_name: str) -> str:
+    """Scratch file for atomic CURRENT installation (may survive a crash)."""
+    return f"{db_name}/CURRENT.tmp"
+
+
 def table_file_name(db_name: str, number: int) -> str:
     return f"{db_name}/{number:06d}.ldb"
 
@@ -54,8 +59,15 @@ class ManifestWriter:
         return self._file.size
 
     def install_as_current(self) -> None:
-        """Atomically point ``CURRENT`` at this manifest."""
-        tmp = f"{self.db_name}/CURRENT.tmp"
+        """Atomically point ``CURRENT`` at this manifest.
+
+        The new content is written (and synced) to ``CURRENT.tmp`` first,
+        then renamed over ``CURRENT``, so a crash leaves either the old or
+        the new pointer — never a torn one.  A crash between the two steps
+        strands ``CURRENT.tmp``; recovery deletes it
+        (:meth:`repro.lsm.db.DB._delete_obsolete_files`).
+        """
+        tmp = current_tmp_file_name(self.db_name)
         self.vfs.write_whole(
             tmp, f"MANIFEST-{self.number:06d}\n".encode("utf-8"),
             Category.MANIFEST)

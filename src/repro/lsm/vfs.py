@@ -212,6 +212,18 @@ class VFS:
     def delete(self, name: str) -> None:
         raise NotImplementedError
 
+    def delete_if_exists(self, name: str) -> bool:
+        """Delete ``name`` if present; returns whether it existed.
+
+        Recovery paths use this where a crash may already have removed the
+        file (for example the previous WAL after an interrupted flush).
+        """
+        try:
+            self.delete(name)
+        except NotFoundError:
+            return False
+        return True
+
     def rename(self, old: str, new: str) -> None:
         raise NotImplementedError
 

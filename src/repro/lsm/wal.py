@@ -72,6 +72,10 @@ class LogWriter:
         self._file.append(header + fragment, Category.WAL)
         self._block_offset += HEADER_SIZE + len(fragment)
 
+    def sync(self) -> None:
+        """Force written records to stable storage."""
+        self._file.sync()
+
     def close(self) -> None:
         self._file.close()
 
@@ -107,6 +111,15 @@ class LogReader:
                 continue
             frag_start = offset + HEADER_SIZE
             frag_end = frag_start + length
+            if HEADER_SIZE + length > block_left:
+                # A fragment never spans a block boundary by construction,
+                # so this header's length field is garbage.  At the tail it
+                # is a torn write; mid-file it is corruption.
+                if frag_end >= end:
+                    return
+                raise CorruptionError(
+                    f"WAL fragment at offset {offset} crosses a block "
+                    f"boundary")
             if frag_end > end:
                 return  # torn payload at tail
             fragment = data[frag_start:frag_end]

@@ -49,6 +49,23 @@ class TestLRUCache:
         cache.put("a", 1, 1)
         assert cache.get("a") is None
 
+    def test_oversized_put_evicts_stale_entry_under_same_key(self):
+        """An uncacheable new value must not leave the old one servable."""
+        cache = LRUCache(100)
+        cache.put("k", "old", 10)
+        cache.put("k", "new-but-too-big", 200)  # cannot be cached
+        assert cache.get("k") is None  # seed bug: returned "old"
+        assert cache.used_bytes == 0
+        assert len(cache) == 0
+
+    def test_oversized_put_keeps_other_entries(self):
+        cache = LRUCache(100)
+        cache.put("other", 1, 10)
+        cache.put("k", "small", 10)
+        cache.put("k", "huge", 999)
+        assert cache.get("other") == 1
+        assert cache.used_bytes == 10
+
 
 class TestBufferCacheSimulator:
     def _make(self, pages=4):
@@ -106,6 +123,29 @@ class TestBufferCacheSimulator:
         reader.read_at(0, DEVICE_BLOCK_SIZE * 4, Category.DATA)  # 4 misses
         reader.read_at(0, DEVICE_BLOCK_SIZE, Category.DATA)  # page 0 evicted
         assert cache.misses == 5
+
+    def test_reset_stats_zeroes_hit_miss_counters(self):
+        """Epoch deltas in the cache ablation bench must start from zero."""
+        base, cache = self._make()
+        base.write_whole("f", b"x" * 100)
+        reader = cache.open_random("f")
+        reader.read_at(0, 100, Category.DATA)  # miss
+        reader.read_at(0, 100, Category.DATA)  # hit
+        assert cache.hits == 1 and cache.misses == 1
+        cache.reset_stats()
+        assert cache.hits == 0  # seed bug: previous epoch leaked through
+        assert cache.misses == 0
+        assert cache.stats.read_blocks == 0
+
+    def test_reset_stats_keeps_pages_resident(self):
+        """Counters are epoch-scoped; the simulated page cache stays warm."""
+        base, cache = self._make()
+        base.write_whole("f", b"x" * 100)
+        cache.open_random("f").read_at(0, 100, Category.DATA)
+        cache.reset_stats()
+        cache.open_random("f").read_at(0, 100, Category.DATA)
+        assert cache.hits == 1 and cache.misses == 0
+        assert cache.stats.read_blocks == 0  # still served from "RAM"
 
     def test_uncharged_read_bypasses_cache(self):
         base, cache = self._make()

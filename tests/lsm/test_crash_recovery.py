@@ -1,0 +1,162 @@
+"""Recovery-path regressions: bugs the crash harness flushed out.
+
+Each test here failed on the engine as originally seeded; together they pin
+the recovery contract that ``tests/property/test_crash_consistency.py``
+drills exhaustively.
+"""
+
+import pytest
+
+from repro.lsm.db import DB
+from repro.lsm.errors import FaultInjectedError
+from repro.lsm.faults import FaultInjectingVFS
+from repro.lsm.manifest import (
+    current_tmp_file_name,
+    log_file_name,
+    table_file_name,
+)
+from repro.lsm.options import Options
+from repro.lsm.vfs import MemoryVFS
+
+
+def _options(**overrides):
+    base = dict(block_size=1024, sstable_target_size=4 * 1024,
+                memtable_budget=4 * 1024, l1_target_size=16 * 1024)
+    base.update(overrides)
+    return Options(**base)
+
+
+class TestRecoveredWALPersistence:
+    def test_wal_replay_survives_a_second_reopen(self):
+        """Replayed WAL data must not evaporate when the old log is deleted.
+
+        The seed engine replayed old WALs into the MemTable, then deleted
+        them — so the recovered writes existed nowhere durable, and a
+        second reopen (or crash) lost them permanently.
+        """
+        vfs = MemoryVFS()
+        db = DB.open(vfs, "db", _options(memtable_budget=1 << 20))
+        db.put(b"k1", b"v1")
+        db.put(b"k2", b"v2")
+        db.close()  # memtable never flushed: data lives only in the WAL
+
+        db2 = DB.open(vfs, "db", _options(memtable_budget=1 << 20))
+        assert db2.get(b"k1") == b"v1"
+        db2.close()  # no writes this session
+
+        db3 = DB.open(vfs, "db", _options(memtable_budget=1 << 20))
+        assert db3.get(b"k1") == b"v1"
+        assert db3.get(b"k2") == b"v2"
+        db3.close()
+
+    def test_recovery_flushes_replayed_memtable(self):
+        vfs = MemoryVFS()
+        db = DB.open(vfs, "db", _options(memtable_budget=1 << 20))
+        db.put(b"k", b"v")
+        db.close()
+        db2 = DB.open(vfs, "db", _options(memtable_budget=1 << 20))
+        assert db2.memtable.is_empty()
+        assert sum(db2.level_file_counts()) >= 1
+        assert db2.get(b"k") == b"v"
+        assert db2.verify_integrity().ok
+        db2.close()
+
+    def test_crash_after_clean_close_loses_nothing(self):
+        """close() must sync the WAL tail even with sync_writes off."""
+        fvfs = FaultInjectingVFS()
+        db = DB.open(fvfs, "db", _options(memtable_budget=1 << 20))
+        db.put(b"k", b"v")
+        db.close()
+        image = fvfs.crash_image("drop")  # power loss right after close
+        db2 = DB.open(image, "db", _options(memtable_budget=1 << 20))
+        assert db2.get(b"k") == b"v"
+        db2.close()
+
+
+class TestStrayFiles:
+    def test_open_tolerates_unparseable_file_names(self):
+        """Editor droppings in the DB directory must not abort recovery."""
+        vfs = MemoryVFS()
+        db = DB.open(vfs, "db", _options())
+        db.put(b"k", b"v")
+        db.close()
+        vfs.write_whole("db/junk.ldb", b"not a table")
+        vfs.write_whole("db/notes.log", b"not a wal")
+        vfs.write_whole("db/MANIFEST-backup", b"not a manifest")
+        db2 = DB.open(vfs, "db", _options())  # seed: ValueError
+        assert db2.get(b"k") == b"v"
+        # Unrecognized names are skipped, not deleted: they are not ours.
+        assert vfs.exists("db/junk.ldb")
+        assert vfs.exists("db/notes.log")
+        assert vfs.exists("db/MANIFEST-backup")
+        assert db2.verify_integrity().ok
+        db2.close()
+
+    def test_stranded_current_tmp_is_removed(self):
+        vfs = MemoryVFS()
+        db = DB.open(vfs, "db", _options())
+        db.put(b"k", b"v")
+        db.close()
+        # Simulate a crash between writing CURRENT.tmp and the rename.
+        vfs.write_whole(current_tmp_file_name("db"), b"MANIFEST-999999\n")
+        db2 = DB.open(vfs, "db", _options())
+        assert not vfs.exists(current_tmp_file_name("db"))
+        assert db2.get(b"k") == b"v"
+        db2.close()
+
+    def test_orphaned_table_from_interrupted_flush_is_cleaned(self):
+        vfs = MemoryVFS()
+        db = DB.open(vfs, "db", _options())
+        db.put(b"k", b"v")
+        db.close()
+        # A flush that crashed mid-build leaves a table no manifest names.
+        stray = table_file_name("db", 987654)
+        vfs.write_whole(stray, b"half-written table bytes")
+        db2 = DB.open(vfs, "db", _options())
+        assert not vfs.exists(stray)
+        assert db2.verify_integrity().ok
+        db2.close()
+
+
+class TestFlushCrashWindow:
+    def test_flush_tolerates_missing_old_wal(self):
+        """A crash-interrupted earlier flush may have deleted the WAL already."""
+        vfs = MemoryVFS()
+        db = DB.open(vfs, "db", _options(memtable_budget=1 << 20))
+        db.put(b"k", b"v")
+        vfs.delete(log_file_name("db", db._log_number))
+        db.flush()  # seed: NotFoundError
+        assert db.get(b"k") == b"v"
+        assert db.verify_integrity().ok
+        db.close()
+
+    def test_table_bytes_are_durable_before_manifest_references_them(self):
+        """flush must fsync the new table before logging the version edit."""
+        fvfs = FaultInjectingVFS()
+        db = DB.open(fvfs, "db", _options(memtable_budget=1 << 20))
+        for i in range(50):
+            db.put(f"k{i:03d}".encode(), (f"v{i}" * 20).encode())
+        db.flush()
+        # Crash with every un-synced byte lost, *without* a clean close.
+        image = fvfs.crash_image("drop")
+        db2 = DB.open(image, "db", _options(memtable_budget=1 << 20))
+        for i in range(50):
+            assert db2.get(f"k{i:03d}".encode()) == (f"v{i}" * 20).encode()
+        assert db2.verify_integrity().ok
+        db2.close()
+
+
+class TestInjectedWriteErrors:
+    def test_wal_write_error_propagates_and_db_survives(self):
+        fvfs = FaultInjectingVFS()
+        db = DB.open(fvfs, "db", _options(memtable_budget=1 << 20))
+        db.put(b"before", b"1")
+        fvfs.schedule_write_error(fvfs.op_count + 1)  # next WAL append
+        with pytest.raises(FaultInjectedError):
+            db.put(b"doomed", b"x")
+        # The failed batch never reached the MemTable: no torn state.
+        assert db.get(b"doomed") is None
+        db.put(b"after", b"2")
+        assert db.get(b"before") == b"1"
+        assert db.get(b"after") == b"2"
+        db.close()

@@ -79,3 +79,96 @@ class TestRecovery:
         _got, vfs = _roundtrip([b"data"])
         vfs._files["wal"].extend(b"\x00" * 64)
         assert list(LogReader(vfs.open_random("wal"))) == [b"data"]
+
+
+class TestBlockBoundaryEdges:
+    """Fragmentation corner cases around the 32 KiB block grid."""
+
+    def test_record_spanning_many_blocks(self):
+        records = [b"a" * (3 * BLOCK_SIZE + 123), b"tail"]
+        got, _vfs = _roundtrip(records)
+        assert got == records
+
+    def test_fragment_at_exact_header_leftover(self):
+        # First record leaves exactly HEADER_SIZE free in the block, so
+        # the next record starts with a zero-payload FIRST fragment.
+        first = b"x" * (BLOCK_SIZE - 2 * HEADER_SIZE)
+        second = b"spans-into-the-next-block"
+        got, vfs = _roundtrip([first, second])
+        assert got == [first, second]
+        assert vfs.file_size("wal") > BLOCK_SIZE  # second really spilled
+
+    def test_empty_record_at_exact_header_leftover(self):
+        first = b"x" * (BLOCK_SIZE - 2 * HEADER_SIZE)
+        got, vfs = _roundtrip([first, b"", b"after"])
+        assert got == [first, b"", b"after"]
+
+    def test_torn_tail_of_multi_block_record(self):
+        # FIRST and MIDDLE fragments land, the crash eats the LAST one:
+        # the whole record must vanish, the earlier one must survive.
+        keeper = b"keeper"
+        doomed = b"d" * (2 * BLOCK_SIZE + 500)
+        _got, vfs = _roundtrip([keeper, doomed])
+        data = vfs._files["wal"]
+        del data[2 * BLOCK_SIZE:]  # cut exactly at a block boundary
+        assert list(LogReader(vfs.open_random("wal"))) == [keeper]
+
+    def test_fragment_crossing_block_boundary_raises_midfile(self):
+        # Corrupt the first fragment's length so it claims to span the
+        # block boundary while real data follows: structural corruption.
+        big = b"p" * (2 * BLOCK_SIZE + 500)
+        _got, vfs = _roundtrip([big])
+        data = vfs._files["wal"]
+        data[4:6] = (0xFFFF).to_bytes(2, "little")  # length field
+        with pytest.raises(CorruptionError):
+            list(LogReader(vfs.open_random("wal")))
+
+    def test_fragment_crossing_block_boundary_at_tail_is_torn(self):
+        # The same oversized length with nothing after it is a torn tail.
+        _got, vfs = _roundtrip([b"keeper", b"short"])
+        data = vfs._files["wal"]
+        tail = HEADER_SIZE + len(b"keeper")
+        data[tail + 4:tail + 6] = (0xFFFF).to_bytes(2, "little")
+        assert list(LogReader(vfs.open_random("wal"))) == [b"keeper"]
+
+
+class TestTornTailKinds:
+    """Torn header vs torn payload vs corrupt CRC at the tail."""
+
+    def test_torn_header_stops_silently(self):
+        _got, vfs = _roundtrip([b"keeper", b"doomed"])
+        data = vfs._files["wal"]
+        second_start = HEADER_SIZE + len(b"keeper")
+        del data[second_start + 3:]  # 3 bytes of header survive
+        assert list(LogReader(vfs.open_random("wal"))) == [b"keeper"]
+
+    def test_torn_payload_stops_silently(self):
+        _got, vfs = _roundtrip([b"keeper", b"doomed-payload"])
+        data = vfs._files["wal"]
+        del data[len(data) - 5:]
+        assert list(LogReader(vfs.open_random("wal"))) == [b"keeper"]
+
+    def test_corrupt_crc_of_last_record_stops_silently(self):
+        _got, vfs = _roundtrip([b"keeper", b"doomed"])
+        data = vfs._files["wal"]
+        second_start = HEADER_SIZE + len(b"keeper")
+        data[second_start] ^= 0xFF  # flip a CRC byte of the tail record
+        assert list(LogReader(vfs.open_random("wal"))) == [b"keeper"]
+
+    def test_corrupt_crc_before_more_records_raises(self):
+        _got, vfs = _roundtrip([b"first", b"second", b"third"])
+        data = vfs._files["wal"]
+        data[0] ^= 0xFF  # CRC byte of record one; records follow
+        with pytest.raises(CorruptionError):
+            list(LogReader(vfs.open_random("wal")))
+
+    def test_sync_marks_watermark_for_crash_imaging(self):
+        from repro.lsm.faults import FaultInjectingVFS
+
+        fvfs = FaultInjectingVFS()
+        writer = LogWriter(fvfs.create("wal"))
+        writer.add_record(b"durable")
+        writer.sync()
+        writer.add_record(b"volatile")
+        image = fvfs.crash_image("drop")
+        assert list(LogReader(image.open_random("wal"))) == [b"durable"]
