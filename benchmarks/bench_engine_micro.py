@@ -1,0 +1,309 @@
+"""Engine micro-benchmark: put/get/scan/secondary-lookup throughput.
+
+Unlike the ``bench_fig*`` modules (which reproduce the paper's figures),
+this harness tracks the *engine's* performance trajectory across PRs.  It
+is a plain script, not a pytest module::
+
+    PYTHONPATH=src python benchmarks/bench_engine_micro.py \
+        [--scale full|ci] [--baseline FILE] [--output BENCH_engine.json] \
+        [--check BENCH_engine.json]
+
+It measures, on an in-memory VFS at the benchmark geometry:
+
+* ``put_ops_per_sec``      — raw ``DB.put`` including inline flush/compaction;
+* ``get_ops_per_sec``      — point gets over a built, compacted tree;
+* ``scan_entries_per_sec`` — full-range scan throughput;
+* ``secondary_lookup_ops_per_sec`` — Lazy-index LOOKUPs through
+  :class:`~repro.core.database.SecondaryIndexedDB`;
+* allocation pressure      — tracemalloc peak KiB over a fixed op batch.
+
+Wall-clock throughput is machine-dependent, so every run also measures a
+fixed pure-Python *calibration loop* and reports throughput normalized by
+it.  ``--check`` compares a fresh run's normalized numbers against a
+committed ``BENCH_engine.json`` and exits non-zero when any throughput
+metric regressed by more than ``REGRESSION_TOLERANCE`` — the CI smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import tracemalloc
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.core.base import IndexKind  # noqa: E402
+from repro.core.database import SecondaryIndexedDB  # noqa: E402
+from repro.lsm.db import DB  # noqa: E402
+from repro.lsm.options import Options  # noqa: E402
+
+SCHEMA = 1
+
+#: CI fails when a throughput metric drops below this fraction of the
+#: committed normalized baseline (the ">30% regression" gate).
+REGRESSION_TOLERANCE = 0.70
+
+#: Every timed phase (and the calibration loop) runs this many times and
+#: the *best* time wins — the minimum is the run least disturbed by other
+#: tenants of the machine, which matters a lot on shared CI runners.
+REPEATS = 3
+
+#: Same spirit as ``harness.BENCH_OPTIONS``: small geometry so flushes and
+#: compactions actually happen at micro-benchmark op counts.
+ENGINE_OPTIONS = dict(
+    block_size=2048,
+    sstable_target_size=16 * 1024,
+    memtable_budget=16 * 1024,
+    l1_target_size=64 * 1024,
+    compression="none",
+)
+
+SCALES = {
+    # op counts: (puts, gets, scans, secondary lookups)
+    "full": dict(puts=12000, gets=4000, scans=15, lookups=1500,
+                 lookup_tweets=3000),
+    "ci": dict(puts=2500, gets=800, scans=4, lookups=300,
+               lookup_tweets=800),
+}
+
+THROUGHPUT_METRICS = (
+    "put_ops_per_sec",
+    "get_ops_per_sec",
+    "scan_entries_per_sec",
+    "secondary_lookup_ops_per_sec",
+)
+
+
+def _key(i: int) -> bytes:
+    return b"user%06d" % (i * 2654435761 % 1000003)
+
+
+def _value(i: int) -> bytes:
+    return (b"{\"UserID\": \"u%04d\", \"body\": \"%s\"}"
+            % (i % 97, b"x" * (40 + i % 60)))
+
+
+def calibrate() -> float:
+    """Fixed pure-Python workload; returns its ops/sec on this machine.
+
+    Sorting byte strings exercises the same interpreter machinery (bytes
+    compares, list handling, allocation) as the engine's hot paths, so the
+    ratio engine-throughput / calibration-throughput is comparable across
+    hosts of different speeds.
+    """
+    def one_round() -> float:
+        data = [b"%06d" % ((i * 7919) % 100000) for i in range(2000)]
+        ops = 0
+        started = time.perf_counter()
+        while ops < 60_000:
+            data.sort(key=lambda item: (item, 1))
+            data.reverse()
+            ops += len(data)
+        return ops / (time.perf_counter() - started)
+
+    return max(one_round() for _ in range(REPEATS))
+
+
+def _timed(fn) -> float:
+    """Best-of-``REPEATS`` wall time of ``fn`` (must be re-runnable)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _peak_alloc_kib(fn) -> float:
+    tracemalloc.start()
+    try:
+        fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1024
+
+
+def run_benchmark(scale: str) -> dict:
+    cfg = SCALES[scale]
+    options = Options(**ENGINE_OPTIONS)
+    metrics: dict[str, float] = {}
+
+    # -- put path (includes inline flush + compaction) ----------------------
+    # A put run is not repeatable on the same tree, so each repeat builds a
+    # fresh database; the last build feeds the read phases below.
+    n_puts = cfg["puts"]
+    elapsed = float("inf")
+    db = None
+    for _ in range(REPEATS):
+        if db is not None:
+            db.close()
+        db = DB.open_memory(options=options)
+        put = db.put
+        started = time.perf_counter()
+        for i in range(n_puts):
+            put(_key(i), _value(i))
+        elapsed = min(elapsed, time.perf_counter() - started)
+    metrics["put_ops_per_sec"] = n_puts / elapsed
+
+    # -- point gets over the built tree -------------------------------------
+    db.flush()
+    get_keys = [_key(i * 3 % n_puts) for i in range(cfg["gets"])]
+
+    def do_gets():
+        get = db.get
+        for key in get_keys:
+            get(key)
+
+    elapsed = _timed(do_gets)
+    metrics["get_ops_per_sec"] = len(get_keys) / elapsed
+    metrics["get_peak_alloc_kib"] = _peak_alloc_kib(do_gets)
+
+    # -- full scans ----------------------------------------------------------
+    def do_scans() -> int:
+        seen = 0
+        for _ in range(cfg["scans"]):
+            for _key_, _value_ in db.scan():
+                seen += 1
+        return seen
+
+    total_entries = do_scans()  # warm + count; timing is best-of below
+    elapsed = _timed(do_scans)
+    metrics["scan_entries_per_sec"] = total_entries / elapsed
+    metrics["scan_peak_alloc_kib"] = _peak_alloc_kib(do_scans)
+    db.close()
+
+    # -- secondary lookups (Lazy index, the paper's overall pick) ------------
+    sdb = SecondaryIndexedDB.open_memory(
+        indexes={"UserID": IndexKind.LAZY}, options=Options(**ENGINE_OPTIONS))
+    for i in range(cfg["lookup_tweets"]):
+        sdb.put(b"t%06d" % i, {"UserID": "u%03d" % (i % 53), "n": i})
+    sdb.flush()
+    values = ["u%03d" % (i % 53) for i in range(cfg["lookups"])]
+
+    def do_lookups():
+        lookup = sdb.lookup
+        for value in values:
+            lookup("UserID", value, k=5)
+
+    elapsed = _timed(do_lookups)
+    metrics["secondary_lookup_ops_per_sec"] = len(values) / elapsed
+    sdb.close()
+
+    calibration = calibrate()
+    return {
+        "schema": SCHEMA,
+        "harness": "benchmarks/bench_engine_micro.py",
+        "scale": scale,
+        "python": sys.version.split()[0],
+        "calibration_ops_per_sec": round(calibration, 1),
+        "metrics": {name: round(value, 2)
+                    for name, value in metrics.items()},
+        "normalized": {
+            name: round(metrics[name] / calibration, 6)
+            for name in THROUGHPUT_METRICS},
+    }
+
+
+def attach_baseline(report: dict, baseline: dict) -> None:
+    """Embed ``baseline``'s numbers and the speedup ratios into ``report``."""
+    report["baseline"] = {
+        "scale": baseline.get("scale"),
+        "calibration_ops_per_sec": baseline.get("calibration_ops_per_sec"),
+        "metrics": baseline.get("metrics", {}),
+        "normalized": baseline.get("normalized", {}),
+    }
+    speedups = {}
+    for name in THROUGHPUT_METRICS:
+        ours = report["normalized"].get(name)
+        theirs = baseline.get("normalized", {}).get(name)
+        if ours and theirs:
+            speedups[name] = round(ours / theirs, 3)
+    report["speedup_vs_baseline"] = speedups
+
+
+def check_against(report: dict, committed: dict) -> int:
+    """CI gate: fail when normalized throughput regressed past tolerance.
+
+    Tree shape differs between scales (a ``ci``-scale tree is smaller and
+    less compacted), so the comparison is only like-for-like against the
+    committed numbers for the *same* scale: the committed report's own
+    ``normalized`` when scales match, else its ``<scale>_normalized``
+    snapshot (full-scale ``--output`` runs record one per other scale).
+    """
+    if committed.get("scale") == report["scale"]:
+        committed_normalized = committed.get("normalized", {})
+    else:
+        committed_normalized = committed.get(
+            f"{report['scale']}_normalized", {})
+        if not committed_normalized:
+            print(f"no {report['scale']}-scale baseline in committed report; "
+                  "nothing to gate against")
+            return 0
+    failures = []
+    for name in THROUGHPUT_METRICS:
+        ours = report["normalized"].get(name)
+        theirs = committed_normalized.get(name)
+        if not ours or not theirs:
+            continue
+        ratio = ours / theirs
+        status = "ok" if ratio >= REGRESSION_TOLERANCE else "REGRESSED"
+        print(f"  {name:32s} {ratio:6.2f}x of committed baseline  [{status}]")
+        if ratio < REGRESSION_TOLERANCE:
+            failures.append(name)
+    if failures:
+        print(f"FAIL: {', '.join(failures)} regressed more than "
+              f"{(1 - REGRESSION_TOLERANCE):.0%} vs committed baseline")
+        return 1
+    print("benchmark smoke: no regression beyond tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="full")
+    parser.add_argument("--baseline", help="earlier JSON report to embed as "
+                        "the before numbers")
+    parser.add_argument("--output", help="write the JSON report here")
+    parser.add_argument("--check", help="committed BENCH_engine.json to "
+                        "gate against (CI mode)")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.scale)
+    if args.output:
+        # A committed report also carries normalized snapshots of the other
+        # scales, so the CI gate (which runs at reduced scale) can compare
+        # like-for-like instead of across tree shapes.
+        for other in sorted(SCALES):
+            if other != args.scale:
+                report[f"{other}_normalized"] = \
+                    run_benchmark(other)["normalized"]
+    if args.baseline:
+        with open(args.baseline) as handle:
+            attach_baseline(report, json.load(handle))
+
+    print(json.dumps({k: report[k] for k in
+                      ("scale", "calibration_ops_per_sec", "metrics")},
+                     indent=2))
+    if "speedup_vs_baseline" in report:
+        print("speedup vs baseline:",
+              json.dumps(report["speedup_vs_baseline"], indent=2))
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.check:
+        with open(args.check) as handle:
+            return check_against(report, json.load(handle))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ rather than hardware-dependent seek times).
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import replace
 
@@ -156,11 +157,30 @@ class ResultTable:
             lines.append(f"# {note}")
         return "\n".join(lines) + "\n"
 
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
     def write(self) -> str:
+        """Write ``results/<name>.txt`` plus a machine-readable JSON twin.
+
+        The ``.txt`` rendering is for humans and EXPERIMENTS.md citations;
+        the ``.json`` twin (same rows, same order) is what trend tooling
+        and the CI benchmark gate consume.
+        """
         os.makedirs(RESULTS_DIR, exist_ok=True)
         path = os.path.join(RESULTS_DIR, f"{self.name}.txt")
         with open(path, "w") as handle:
             handle.write(self.render())
+        json_path = os.path.join(RESULTS_DIR, f"{self.name}.json")
+        with open(json_path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
         return path
 
 

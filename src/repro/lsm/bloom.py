@@ -92,8 +92,8 @@ def bloom_may_contain(filter_blob: bytes, key: bytes) -> bool:
         # the same): claim presence so a corrupt filter never loses data.
         return True
     nbits = (len(filter_blob) - 1) * 8
-    h1, h2 = _hash_pair(key)
-    h = h1
+    # _hash_pair, inlined: this probe runs once per (get, candidate block).
+    h, h2 = _U64.unpack(hashlib.blake2b(key, digest_size=16).digest())
     for _ in range(num_probes):
         pos = h % nbits
         if not filter_blob[pos >> 3] & (1 << (pos & 7)):

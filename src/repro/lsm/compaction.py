@@ -302,10 +302,10 @@ class Compactor:
 
 def _table_stream(table):
     """Entry stream over a whole table, charged as compaction I/O."""
+    from repro.lsm.keys import unpack_internal_key
+
     for block_index in range(table.num_data_blocks):
         block = table.read_data_block(block_index, Category.COMPACTION)
-        from repro.lsm.keys import unpack_internal_key
-
         for ikey_bytes, value in block:
             yield unpack_internal_key(ikey_bytes), value
 

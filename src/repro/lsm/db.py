@@ -21,16 +21,14 @@ due compactions run inline in the writing call.
 
 from __future__ import annotations
 
+import heapq
 import logging
+from operator import itemgetter
 from typing import Any, Callable, Iterator
 
 from repro.lsm.compaction import Compaction, Compactor
 from repro.lsm.errors import DBClosedError, InvalidArgumentError
-from repro.lsm.iterator import (
-    clip_to_range,
-    merge_streams,
-    resolve_versions,
-)
+from repro.lsm.iterator import merge_streams
 from repro.lsm.keys import (
     KIND_DELETE,
     KIND_FOR_SEEK,
@@ -97,10 +95,15 @@ class WriteBatch:
     def encode(self, start_seq: int) -> bytes:
         out = bytearray(encode_varint(start_seq))
         out += encode_varint(len(self.ops))
+        # Length prefixes are appended directly (not via
+        # encode_length_prefixed) to skip one intermediate bytes object
+        # per field — this runs once per write batch on the WAL path.
         for kind, key, value in self.ops:
             out.append(kind)
-            out += encode_length_prefixed(key)
-            out += encode_length_prefixed(value)
+            out += encode_varint(len(key))
+            out += key
+            out += encode_varint(len(value))
+            out += value
         return bytes(out)
 
     @classmethod
@@ -474,19 +477,19 @@ class DB:
         for entry in self.memtable.versions(key, max_seq):
             yield entry.kind, entry.seq, entry.value
         version = self.versions.current
+        table_cache_get = self.table_cache.get
         # Level 0 files may each hold versions; interleave them by seq.
         l0_entries: list[tuple[int, int, bytes]] = []
         for meta in version.files_containing_key(0, key):
-            table = self.table_cache.get(meta.file_number)
-            for ikey, value in table.versions(key, max_seq):
-                l0_entries.append((ikey.kind, ikey.seq, value))
-        l0_entries.sort(key=lambda item: -item[1])
-        yield from l0_entries
+            table = table_cache_get(meta.file_number)
+            l0_entries.extend(table.versions_raw(key, max_seq))
+        if l0_entries:
+            l0_entries.sort(key=lambda item: -item[1])
+            yield from l0_entries
         for level in range(1, self.options.max_levels):
             for meta in version.files_containing_key(level, key):
-                table = self.table_cache.get(meta.file_number)
-                for ikey, value in table.versions(key, max_seq):
-                    yield ikey.kind, ikey.seq, value
+                table = table_cache_get(meta.file_number)
+                yield from table.versions_raw(key, max_seq)
 
     # -- LevelDB++ probes -------------------------------------------------------
 
@@ -510,9 +513,8 @@ class DB:
             found: list[tuple[int, int, bytes]] = []
             for meta in version.files_containing_key(level, key):
                 table = self.table_cache.get(meta.file_number)
-                for ikey, value in table.versions(key, max_seq,
-                                                  Category.INDEX):
-                    found.append((ikey.kind, ikey.seq, value))
+                found.extend(table.versions_raw(key, max_seq,
+                                                Category.INDEX))
             if found:
                 found.sort(key=lambda item: -item[1])
                 out.append((level, found))
@@ -546,26 +548,128 @@ class DB:
              category: Category = Category.DATA
              ) -> Iterator[tuple[bytes, bytes]]:
         """User-visible ordered iteration over ``lo <= key <= hi``."""
-        for key, value, _seq in self.scan_with_seq(lo, hi, snapshot, category):
-            yield key, value
+        return map(itemgetter(0, 1),
+                   self.scan_with_seq(lo, hi, snapshot, category))
 
     def scan_with_seq(self, lo: bytes | None = None, hi: bytes | None = None,
                       snapshot: Snapshot | None = None,
                       category: Category = Category.DATA
                       ) -> Iterator[tuple[bytes, bytes, int]]:
-        """Like :meth:`scan` but yields ``(key, value, seq)``."""
+        """Like :meth:`scan` but yields ``(key, value, seq)``.
+
+        This is a fused fast path over the reference pipeline
+        ``clip_to_range(resolve_versions(merge_streams(...)))`` (which the
+        equivalence tests pin it against): one loop does the k-way heap
+        merge and the version resolution directly on ``(sort_key, value)``
+        pairs, so no :class:`InternalKey` is allocated per entry and no
+        per-entry generator hand-off happens between pipeline stages.
+        """
         self._check_open()
         max_seq = snapshot.seq if snapshot is not None else MAX_SEQUENCE
-        streams = [self._memtable_stream(lo)]
+        start_key = None if lo is None else \
+            pack_internal_key(lo, MAX_SEQUENCE, KIND_FOR_SEEK)
+        streams = [self._memtable_sorted(lo)]
         version = self.versions.current
-        for level in range(self.options.max_levels):
-            for meta in version.overlapping_files(level, lo, hi):
-                table = self.table_cache.get(meta.file_number)
-                streams.append(self._table_stream_from(table, lo, category))
-        merged = merge_streams(streams)
-        resolved = resolve_versions(merged, max_seq,
-                                    self.options.merge_operator)
-        yield from clip_to_range(resolved, lo, hi)
+        table_cache_get = self.table_cache.get
+        # Level-0 files overlap: one heap stream each.  Deeper levels are
+        # disjoint and sorted, so a whole level concatenates into a single
+        # stream (LevelDB's concatenating iterator) — the heap holds one
+        # entry per *level*, not per file, keeping each sift logarithmic in
+        # the number of components rather than the number of files.
+        for meta in version.overlapping_files(0, lo, hi):
+            streams.append(table_cache_get(meta.file_number)
+                           .sorted_entries(start_key, category))
+        for level in range(1, self.options.max_levels):
+            files = version.overlapping_files(level, lo, hi)
+            if len(files) == 1:
+                streams.append(table_cache_get(files[0].file_number)
+                               .sorted_entries(start_key, category))
+            elif files:
+                streams.append(
+                    self._sorted_level_stream(files, start_key, category))
+
+        # Seed the heap: (sort_key, stream_index, value, advance).  The
+        # stream index breaks sort-key ties, so the newest component wins
+        # (streams are listed memtable first, then levels top-down).
+        heap: list[tuple[tuple[bytes, int], int, bytes, Any]] = []
+        for index, stream in enumerate(streams):
+            advance = stream.__next__
+            try:
+                sort_key, value = advance()
+            except StopIteration:
+                continue
+            heap.append((sort_key, index, value, advance))
+        heapq.heapify(heap)
+        heappop, heapreplace = heapq.heappop, heapq.heapreplace
+
+        current_key: bytes | None = None
+        operands: list[bytes] = []  # newest-first merge operands
+        operand_seq = 0
+        done_with_key = False
+        while heap:
+            sort_key, index, value, advance = heap[0]
+            try:
+                nxt = advance()
+            except StopIteration:
+                heappop(heap)
+            else:
+                heapreplace(heap, (nxt[0], index, nxt[1], advance))
+            user_key = sort_key[0]
+            if user_key != current_key:
+                if operands:
+                    yield (current_key,
+                           self._fold(current_key, operands, None),
+                           operand_seq)
+                    operands = []
+                if hi is not None and user_key > hi:
+                    return
+                current_key = user_key
+                done_with_key = False
+            if done_with_key or (lo is not None and user_key < lo):
+                continue
+            tag = -sort_key[1]
+            seq = tag >> 8
+            if seq > max_seq:
+                continue
+            kind = tag & 0xFF
+            if kind == KIND_MERGE:
+                if not operands:
+                    operand_seq = seq
+                operands.append(value)
+                continue
+            done_with_key = True
+            if operands:
+                base = value if kind == KIND_VALUE else None
+                yield (current_key, self._fold(current_key, operands, base),
+                       operand_seq)
+                operands = []
+            elif kind == KIND_VALUE:
+                yield current_key, value, seq
+            # KIND_DELETE with no pending operands: key is simply hidden.
+        if operands:
+            yield (current_key, self._fold(current_key, operands, None),
+                   operand_seq)
+
+    def _sorted_level_stream(self, files, start_key: bytes | None,
+                             category: Category
+                             ) -> Iterator[tuple[tuple[bytes, int], bytes]]:
+        """Concatenated ``(sort_key, value)`` stream over one disjoint level."""
+        table_cache_get = self.table_cache.get
+        for meta in files:
+            yield from table_cache_get(meta.file_number) \
+                .sorted_entries(start_key, category)
+
+    def _memtable_sorted(self, lo: bytes | None
+                         ) -> Iterator[tuple[tuple[bytes, int], bytes]]:
+        """MemTable entries as ``(sort_key, value)`` pairs for the scan path."""
+        if lo is None:
+            for entry in self.memtable:
+                yield ((entry.user_key, -((entry.seq << 8) | entry.kind)),
+                       entry.value)
+            return
+        for _key, entry in self.memtable._list.items_from((lo, 0)):
+            yield ((entry.user_key, -((entry.seq << 8) | entry.kind)),
+                   entry.value)
 
     def _memtable_stream(self, lo: bytes | None
                          ) -> Iterator[tuple[InternalKey, bytes]]:
@@ -719,6 +823,46 @@ class DB:
     @property
     def io_stats(self):
         return self.vfs.stats
+
+    def stats(self) -> dict[str, Any]:
+        """Operational counters, one JSON-friendly dict (RocksDB's
+        ``GetProperty``, condensed): compaction work, table-cache and
+        block-cache hit rates, I/O meters and the level shape."""
+        self._check_open()
+        compaction = self.compactor.stats
+        io = self.vfs.stats
+        block_cache = self.table_cache.block_cache
+        return {
+            "levels": self.level_file_counts(),
+            "last_sequence": self.versions.last_sequence,
+            "memtable_entries": len(self.memtable),
+            "memtable_bytes": self.memtable.approximate_memory_usage,
+            "compaction": {
+                "flush_count": compaction.flush_count,
+                "compaction_count": compaction.compaction_count,
+                "bytes_flushed": compaction.bytes_flushed,
+                "bytes_compacted_in": compaction.bytes_compacted_in,
+                "bytes_compacted_out": compaction.bytes_compacted_out,
+                "entries_dropped": compaction.entries_dropped,
+                "merges_folded": compaction.merges_folded,
+                "compactions_by_level": dict(compaction.compactions_by_level),
+            },
+            "table_cache": self.table_cache.stats(),
+            "block_cache": None if block_cache is None else {
+                "capacity_bytes": block_cache.capacity,
+                "used_bytes": block_cache.used_bytes,
+                "hits": block_cache.hits,
+                "misses": block_cache.misses,
+            },
+            "io": {
+                "read_ops": io.read_ops,
+                "write_ops": io.write_ops,
+                "read_blocks": io.read_blocks,
+                "write_blocks": io.write_blocks,
+                "read_bytes": io.read_bytes,
+                "write_bytes": io.write_bytes,
+            },
+        }
 
     def level_file_counts(self) -> list[int]:
         return [len(files) for files in self.versions.current.levels]

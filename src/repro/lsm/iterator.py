@@ -11,7 +11,7 @@ RocksDB-style merge mechanism the Lazy index builds on.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.lsm.errors import InvalidArgumentError
 from repro.lsm.keys import (
@@ -26,20 +26,43 @@ MergeFn = Callable[[bytes, list[bytes]], bytes]
 
 
 def merge_streams(streams: list[EntryStream]) -> EntryStream:
-    """Merge sorted entry streams into one sorted stream (stable heap merge)."""
-    heap: list[tuple[tuple[bytes, int, int], int, InternalKey, bytes]] = []
+    """Merge sorted entry streams into one sorted stream (stable heap merge).
+
+    Stability: at equal sort keys the stream that appears first in
+    ``streams`` wins (its index is the tie-breaker in the heap tuple), so
+    callers list components newest-first, as :meth:`repro.lsm.db.DB.scan`
+    does.
+
+    The loop keeps one heap entry per live stream and advances the winner
+    with ``heapreplace`` — one sift per yielded entry, instead of the
+    pop-then-push pair (two sifts) of a naive heap merge, and no
+    re-created generator frames per entry.
+    """
     iterators = [iter(stream) for stream in streams]
+    if len(iterators) == 1:
+        # Single component (common for small trees): no heap needed at all.
+        yield from iterators[0]
+        return
+    heap: list[tuple[tuple[bytes, int], int, InternalKey, bytes, Any]] = []
     for index, iterator in enumerate(iterators):
-        for ikey, value in iterator:
-            heapq.heappush(heap, (ikey.sort_key(), index, ikey, value))
-            break
+        advance = iterator.__next__
+        try:
+            ikey, value = advance()
+        except StopIteration:
+            continue
+        heap.append((ikey.sort_key(), index, ikey, value, advance))
+    heapq.heapify(heap)
+    heappop, heapreplace = heapq.heappop, heapq.heapreplace
     while heap:
-        _sort_key, index, ikey, value = heapq.heappop(heap)
+        _sort_key, index, ikey, value, advance = heap[0]
         yield ikey, value
-        for next_ikey, next_value in iterators[index]:
-            heapq.heappush(
-                heap, (next_ikey.sort_key(), index, next_ikey, next_value))
-            break
+        try:
+            next_ikey, next_value = advance()
+        except StopIteration:
+            heappop(heap)
+        else:
+            heapreplace(heap, (next_ikey.sort_key(), index, next_ikey,
+                               next_value, advance))
 
 
 def resolve_versions(

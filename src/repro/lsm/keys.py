@@ -49,13 +49,17 @@ class InternalKey(NamedTuple):
     def kind_name(self) -> str:
         return _KIND_NAMES.get(self.kind, f"unknown({self.kind})")
 
-    def sort_key(self) -> tuple[bytes, int, int]:
+    def sort_key(self) -> tuple[bytes, int]:
         """Tuple that sorts internal keys: user key ascending, seq descending.
 
         Newest entries (largest seq) come first within a user key, mirroring
-        LevelDB's ``InternalKeyComparator``.
+        LevelDB's ``InternalKeyComparator``.  The second element is the
+        *negated trailer tag* ``-((seq << 8) | kind)``: one integer compare
+        gives seq-descending order with kind-descending tie-break, the same
+        total order as the former ``(user_key, MAX_SEQUENCE - seq, -kind)``
+        triple but with one fewer tuple slot to allocate and compare.
         """
-        return (self.user_key, MAX_SEQUENCE - self.seq, -self.kind)
+        return (self.user_key, -((self.seq << 8) | self.kind))
 
 
 def pack_internal_key(user_key: bytes, seq: int, kind: int) -> bytes:
@@ -72,12 +76,21 @@ def unpack_internal_key(data: bytes) -> InternalKey:
     if len(data) < 8:
         raise ValueError(f"internal key too short: {len(data)} bytes")
     tag = _TRAILER.unpack_from(data, len(data) - 8)[0]
-    return InternalKey(bytes(data[:-8]), tag >> 8, tag & 0xFF)
+    return InternalKey(data[:-8], tag >> 8, tag & 0xFF)
 
 
-def internal_sort_key(encoded: bytes) -> tuple[bytes, int, int]:
-    """Sort key for an *encoded* internal key (see :meth:`InternalKey.sort_key`)."""
-    return unpack_internal_key(encoded).sort_key()
+def internal_sort_key(encoded: bytes) -> tuple[bytes, int]:
+    """Sort key for an *encoded* internal key (see :meth:`InternalKey.sort_key`).
+
+    Computed straight from the encoded bytes — no :class:`InternalKey`
+    is allocated.  This is the engine's hottest comparison primitive
+    (every block seek, index binary search and merge step goes through
+    it), so it does exactly two allocations: one user-key slice and one
+    result tuple.
+    """
+    if len(encoded) < 8:
+        raise ValueError(f"internal key too short: {len(encoded)} bytes")
+    return (encoded[:-8], -_TRAILER.unpack_from(encoded, len(encoded) - 8)[0])
 
 
 def compare_internal(a: bytes, b: bytes) -> int:
@@ -96,8 +109,15 @@ def compare_internal(a: bytes, b: bytes) -> int:
 # ---------------------------------------------------------------------------
 
 
+#: Single-byte varints (values 0..127) are the overwhelmingly common case
+#: in block headers (shared/non-shared/value_len); serve them from a table.
+_VARINT_ONE_BYTE = [bytes([value]) for value in range(128)]
+
+
 def encode_varint(value: int) -> bytes:
     """Encode a non-negative integer as a little-endian base-128 varint."""
+    if 0 <= value < 128:
+        return _VARINT_ONE_BYTE[value]
     if value < 0:
         raise ValueError("varints encode non-negative integers only")
     out = bytearray()

@@ -94,6 +94,13 @@ class Options:
     block_cache_size:
         LRU cache capacity in bytes for decompressed data blocks.  The paper
         ran with no block cache; 0 disables it.
+    max_open_files:
+        Bound on the table cache: how many opened SSTable readers (index
+        block, bloom filters, zone maps — the memory-resident metadata) may
+        be held at once before the least-recently-used reader is closed.
+        The paper sets 30000 "so that most of the bloom filters and other
+        metadata can reside in memory"; that stays the default.  Hit/miss
+        counts are surfaced via :meth:`repro.lsm.db.DB.stats`.
     indexed_attributes:
         Secondary attributes for which the SSTable builder embeds per-block
         bloom filters and zone maps (the Embedded Index of Section 3).
@@ -147,6 +154,7 @@ class Options:
     compression: str = "zlib"
     compaction_style: str = "leveled"
     block_cache_size: int = 0
+    max_open_files: int = 30000
     indexed_attributes: tuple[str, ...] = ()
     attribute_extractor: AttributeExtractor = field(
         default=json_attribute_extractor, repr=False)
@@ -174,6 +182,8 @@ class Options:
         if self.l0_stop_writes_trigger < self.l0_compaction_trigger:
             raise ValueError(
                 "l0_stop_writes_trigger must be >= l0_compaction_trigger")
+        if self.max_open_files < 1:
+            raise ValueError("max_open_files must be at least 1")
 
     def max_bytes_for_level(self, level: int) -> float:
         """Size budget of ``level``; level 0 is governed by file count instead."""

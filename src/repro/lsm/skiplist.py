@@ -38,6 +38,9 @@ class SkipList:
         self._height = 1
         self._rng = rng or random.Random(0x5EED)
         self._size = 0
+        # Scratch predecessor array reused across inserts (the structure is
+        # single-writer, like LevelDB's): saves one list allocation per op.
+        self._prev: list[_Node] = [self._head] * _MAX_HEIGHT
 
     def __len__(self) -> int:
         return self._size
@@ -65,18 +68,20 @@ class SkipList:
 
     def insert(self, key: Any, value: Any) -> None:
         """Insert ``key`` -> ``value``; raises if the key already exists."""
-        prev: list[_Node] = [self._head] * _MAX_HEIGHT
+        prev = self._prev
+        head = self._head
+        for level in range(self._height, _MAX_HEIGHT):
+            prev[level] = head
         nxt = self._find_greater_or_equal(key, prev)
         if nxt is not None and nxt.key == key:
             raise KeyError(f"duplicate skiplist key: {key!r}")
         height = self._random_height()
         if height > self._height:
-            for level in range(self._height, height):
-                prev[level] = self._head
             self._height = height
         node = _Node(key, value, height)
+        node_next = node.next
         for level in range(height):
-            node.next[level] = prev[level].next[level]
+            node_next[level] = prev[level].next[level]
             prev[level].next[level] = node
         self._size += 1
 

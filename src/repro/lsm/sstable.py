@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import struct
 import zlib
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -31,12 +32,16 @@ from repro.lsm.bloom import BloomFilterBuilder, bloom_may_contain
 from repro.lsm.compression import Compressor, decompress
 from repro.lsm.errors import CorruptionError
 from repro.lsm.keys import (
+    KIND_FOR_SEEK,
+    KIND_VALUE,
+    MAX_SEQUENCE,
     InternalKey,
     decode_length_prefixed,
     decode_varint,
     encode_length_prefixed,
     encode_varint,
     internal_sort_key,
+    pack_internal_key,
     unpack_internal_key,
 )
 from repro.lsm.options import Options, resolve_attribute_path
@@ -44,6 +49,7 @@ from repro.lsm.vfs import Category, RandomAccessFile, WritableFile
 from repro.lsm.zonemap import ZoneMap, ZoneMapBuilder, encode_attribute
 
 _U32 = struct.Struct("<I")
+_TRAILER = struct.Struct(">Q")
 _FOOTER_SIZE = 48
 _MAGIC = b"LDBppPY1"
 
@@ -167,17 +173,14 @@ class TableBuilder:
         decoded = unpack_internal_key(internal_key)
         self._data_block.add(internal_key, value)
         self._primary_filter.add(decoded.user_key)
-        self._observe_secondary(decoded, value)
-        self._track_bounds(internal_key, decoded)
+        if self.options.indexed_attributes and decoded.kind == KIND_VALUE:
+            self._observe_secondary(value)
+        self._track_bounds(internal_key, decoded.seq)
         self.props.num_entries += 1
         if self._data_block.current_size_estimate() >= self.options.block_size:
             self._flush_data_block()
 
-    def _observe_secondary(self, decoded: InternalKey, value: bytes) -> None:
-        from repro.lsm.keys import KIND_VALUE
-
-        if not self.options.indexed_attributes or decoded.kind != KIND_VALUE:
-            return
+    def _observe_secondary(self, value: bytes) -> None:
         attrs = self.options.attribute_extractor(value)
         for attr in self.options.indexed_attributes:
             attr_value = resolve_attribute_path(attrs, attr)
@@ -188,14 +191,17 @@ class TableBuilder:
             self._secondary_zonemap_builders[attr].add(encoded)
             self._file_zonemap_builders[attr].add(encoded)
 
-    def _track_bounds(self, internal_key: bytes, decoded: InternalKey) -> None:
-        if self.props.smallest is None:
-            self.props.smallest = internal_key
-            self.props.min_seq = decoded.seq
-            self.props.max_seq = decoded.seq
-        self.props.largest = internal_key
-        self.props.min_seq = min(self.props.min_seq, decoded.seq)
-        self.props.max_seq = max(self.props.max_seq, decoded.seq)
+    def _track_bounds(self, internal_key: bytes, seq: int) -> None:
+        props = self.props
+        if props.smallest is None:
+            props.smallest = internal_key
+            props.min_seq = seq
+            props.max_seq = seq
+        elif seq < props.min_seq:
+            props.min_seq = seq
+        elif seq > props.max_seq:
+            props.max_seq = seq
+        props.largest = internal_key
 
     def _flush_data_block(self) -> None:
         if self._data_block.is_empty:
@@ -327,6 +333,14 @@ class SSTable:
         for key, value in self._index_block:
             handle, _off = BlockHandle.decode(value, 0)
             self._index_entries.append((key, handle))
+        # Per-block search metadata, decoded once at open (the index block
+        # is memory-resident anyway): sort keys for the block binary search
+        # and each block's last *user* key for the continue-scan check.
+        # Without these, every GET re-unpacked index keys per bisect step.
+        self._index_sort_keys = [
+            internal_sort_key(key) for key, _handle in self._index_entries]
+        self._index_last_user_keys = [
+            key[:-8] for key, _handle in self._index_entries]
         self.primary_filters: list[bytes] = []
         self.secondary_filters: dict[str, list[bytes]] = {}
         self.secondary_zonemaps: dict[str, list[ZoneMap]] = {}
@@ -380,14 +394,8 @@ class SSTable:
 
     def _block_index_for(self, internal_key: bytes) -> int | None:
         """Index of the first block whose last key is >= ``internal_key``."""
-        target = internal_sort_key(internal_key)
-        lo, hi = 0, len(self._index_entries)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if internal_sort_key(self._index_entries[mid][0]) < target:
-                lo = mid + 1
-            else:
-                hi = mid
+        lo = bisect_left(self._index_sort_keys,
+                         internal_sort_key(internal_key))
         if lo >= len(self._index_entries):
             return None
         return lo
@@ -408,9 +416,6 @@ class SSTable:
         without reading any data block.  False positives are possible at the
         bloom filter's rate; false negatives are not.
         """
-        from repro.lsm.keys import (
-            KIND_FOR_SEEK, MAX_SEQUENCE, pack_internal_key)
-
         probe = pack_internal_key(user_key, MAX_SEQUENCE, KIND_FOR_SEEK)
         start = self._block_index_for(probe)
         if start is None:
@@ -430,12 +435,26 @@ class SSTable:
         Yields newest-first.  Performs at most a handful of data-block reads
         (bloom filters prune the common miss case without I/O).
         """
-        from repro.lsm.keys import KIND_FOR_SEEK, pack_internal_key
+        for kind, seq, value in self.versions_raw(user_key, max_seq,
+                                                  category):
+            yield InternalKey(user_key, seq, kind), value
 
+    def versions_raw(self, user_key: bytes, max_seq: int,
+                     category: Category = Category.DATA
+                     ) -> Iterator[tuple[int, int, bytes]]:
+        """Versions of ``user_key`` as ``(kind, seq, value)``, newest first.
+
+        The engine-internal form of :meth:`versions`: the GET hot path
+        consumes kind/seq scalars straight off the key trailer, so no
+        :class:`InternalKey` (nor a user-key slice per entry) is allocated.
+        """
         probe = pack_internal_key(user_key, max_seq, KIND_FOR_SEEK)
         start = self._block_index_for(probe)
         if start is None:
             return
+        user_key_len = len(user_key)
+        encoded_len = user_key_len + 8
+        unpack_trailer = _TRAILER.unpack_from
         for block_index in range(start, len(self._index_entries)):
             if not self.may_contain_primary(user_key, block_index):
                 # Bloom says the key is not in this block.  Versions of one
@@ -447,17 +466,17 @@ class SSTable:
                 continue
             block = self.read_data_block(block_index, category)
             for ikey_bytes, value in block.seek(probe):
-                ikey = unpack_internal_key(ikey_bytes)
-                if ikey.user_key != user_key:
+                if len(ikey_bytes) != encoded_len or \
+                        not ikey_bytes.startswith(user_key):
                     return
-                yield ikey, value
+                tag = unpack_trailer(ikey_bytes, user_key_len)[0]
+                yield tag & 0xFF, tag >> 8, value
             if not self._user_key_may_continue(user_key, block_index):
                 return
 
     def _user_key_may_continue(self, user_key: bytes, block_index: int) -> bool:
         """Could ``user_key`` have versions in blocks after ``block_index``?"""
-        last_key = self._index_entries[block_index][0]
-        return unpack_internal_key(last_key).user_key <= user_key
+        return self._index_last_user_keys[block_index] <= user_key
 
     def __iter__(self) -> Iterator[tuple[InternalKey, bytes]]:
         for block_index in range(len(self._index_entries)):
@@ -479,3 +498,24 @@ class SSTable:
             block = self.read_data_block(block_index, category)
             for ikey_bytes, value in block:
                 yield unpack_internal_key(ikey_bytes), value
+
+    def sorted_entries(self, start_internal_key: bytes | None = None,
+                       category: Category = Category.DATA
+                       ) -> Iterator[tuple[tuple[bytes, int], bytes]]:
+        """``(sort_key, value)`` pairs from ``start_internal_key`` onward.
+
+        The scan pipeline's form of :meth:`iterate_from`: no
+        :class:`InternalKey` objects are allocated; the per-block sort-key
+        arrays are handed out directly (see :meth:`Block.sorted_items`).
+        """
+        start = 0
+        if start_internal_key is not None:
+            first = self._block_index_for(start_internal_key)
+            if first is None:
+                return
+            block = self.read_data_block(first, category)
+            yield from block.sorted_seek(start_internal_key)
+            start = first + 1
+        for block_index in range(start, len(self._index_entries)):
+            yield from self.read_data_block(block_index,
+                                            category).sorted_items()

@@ -19,14 +19,24 @@ from repro.lsm.vfs import VFS
 
 
 class TableCache:
-    """Maps file numbers to opened :class:`~repro.lsm.sstable.SSTable`."""
+    """Maps file numbers to opened :class:`~repro.lsm.sstable.SSTable`.
+
+    LRU-bounded by ``options.max_open_files``; a hit moves the table to the
+    most-recent end, a miss opens (and may evict the least-recently-used
+    reader, closing its file handle).  ``hits``/``misses``/``evictions``
+    feed :meth:`repro.lsm.db.DB.stats`.
+    """
 
     def __init__(self, vfs: VFS, db_name: str, options: Options,
-                 max_open_files: int = 30000) -> None:
+                 max_open_files: int | None = None) -> None:
         self.vfs = vfs
         self.db_name = db_name
         self.options = options
-        self.max_open_files = max_open_files
+        self.max_open_files = (options.max_open_files
+                               if max_open_files is None else max_open_files)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
         self._tables: OrderedDict[int, SSTable] = OrderedDict()
         self.block_cache: LRUCache | None = None
         if options.block_cache_size > 0:
@@ -35,8 +45,10 @@ class TableCache:
     def get(self, file_number: int) -> SSTable:
         table = self._tables.get(file_number)
         if table is not None:
+            self.hits += 1
             self._tables.move_to_end(file_number)
             return table
+        self.misses += 1
         handle = self.vfs.open_random(table_file_name(self.db_name, file_number))
         table = SSTable(self.options, handle, file_number)
         table._block_cache = self.block_cache
@@ -44,7 +56,17 @@ class TableCache:
         while len(self._tables) > self.max_open_files:
             _number, evicted = self._tables.popitem(last=False)
             evicted.file.close()
+            self.evictions += 1
         return table
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "open_tables": len(self._tables),
+            "max_open_files": self.max_open_files,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def evict(self, file_number: int) -> None:
         table = self._tables.pop(file_number, None)

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.lsm.errors import CorruptionError
-from repro.lsm.keys import unpack_internal_key
 from repro.lsm.options import Options
 from repro.lsm.zonemap import ZoneMap
 
@@ -37,13 +37,16 @@ class FileMetaData:
     num_entries: int = 0
     secondary_zonemaps: dict[str, ZoneMap] = field(default_factory=dict)
 
-    @property
+    # The key bounds are immutable once the file is live, and every GET
+    # consults them (level binary search + containment check): decode the
+    # user-key halves once per FileMetaData, not once per access.
+    @cached_property
     def smallest_user_key(self) -> bytes:
-        return unpack_internal_key(self.smallest).user_key
+        return self.smallest[:-8]
 
-    @property
+    @cached_property
     def largest_user_key(self) -> bytes:
-        return unpack_internal_key(self.largest).user_key
+        return self.largest[:-8]
 
     def contains_user_key(self, user_key: bytes) -> bool:
         return self.smallest_user_key <= user_key <= self.largest_user_key

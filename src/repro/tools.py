@@ -1,20 +1,28 @@
-"""Maintenance CLI: inspect, dump, and verify on-disk databases.
+"""Maintenance CLI: inspect, dump, verify, and profile databases.
 
 Mirrors LevelDB's ``ldb``/``leveldbutil`` utilities::
 
-    python -m repro stats  <directory> <db-name>
-    python -m repro dump   <directory> <db-name> [--limit N]
-    python -m repro verify <directory> <db-name>
+    python -m repro stats   <directory> <db-name>
+    python -m repro dump    <directory> <db-name> [--limit N]
+    python -m repro verify  <directory> <db-name>
+    python -m repro profile <workload> [--ops N] [--top N]
 
 ``directory`` is a :class:`~repro.lsm.vfs.LocalVFS` root (where the
 database's files live); ``db-name`` is the name it was opened under —
 ``data/primary`` for the primary table of a
 :class:`~repro.core.database.SecondaryIndexedDB` opened as ``"data"``.
+
+``profile`` runs a synthetic engine workload (``put``, ``get``, ``scan``
+or ``lookup``) against an in-memory database under :mod:`cProfile` and
+prints the top functions by cumulative time — the view the hot-path work
+in DESIGN.md §7 was driven by.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import sys
 from typing import IO
 
@@ -89,11 +97,89 @@ def cmd_verify(directory: str, name: str, out: IO[str]) -> int:
         db.close()
 
 
+PROFILE_WORKLOADS = ("put", "get", "scan", "lookup")
+
+
+def _profile_target(workload: str, ops: int):
+    """Build the workload's state and return the callable to profile.
+
+    Setup (data loading, flushes) happens *outside* the profiled region so
+    the report shows the operation's own hot path, not the build phase.
+    Geometry matches ``benchmarks/bench_engine_micro.py`` so conclusions
+    carry over to the BENCH numbers.
+    """
+    from repro.lsm.db import DB
+
+    options = Options(block_size=2048, sstable_target_size=16 * 1024,
+                      memtable_budget=16 * 1024, l1_target_size=64 * 1024,
+                      compression="none")
+
+    def key(i: int) -> bytes:
+        return b"user%06d" % (i * 2654435761 % 1000003)
+
+    def value(i: int) -> bytes:
+        return b'{"UserID": "u%04d", "body": "%s"}' % (i % 97, b"x" * 60)
+
+    if workload == "put":
+        db = DB.open_memory(options=options)
+
+        def run_put():
+            for i in range(ops):
+                db.put(key(i), value(i))
+        return run_put
+
+    if workload == "lookup":
+        from repro.core.base import IndexKind
+        from repro.core.database import SecondaryIndexedDB
+
+        sdb = SecondaryIndexedDB.open_memory(
+            indexes={"UserID": IndexKind.LAZY}, options=options)
+        for i in range(max(ops, 2000)):
+            sdb.put(b"t%06d" % i, {"UserID": "u%03d" % (i % 53), "n": i})
+        sdb.flush()
+
+        def run_lookup():
+            for i in range(ops):
+                sdb.lookup("UserID", "u%03d" % (i % 53), k=5)
+        return run_lookup
+
+    db = DB.open_memory(options=options)
+    load = max(ops, 5000)
+    for i in range(load):
+        db.put(key(i), value(i))
+    db.flush()
+
+    if workload == "get":
+        def run_get():
+            for i in range(ops):
+                db.get(key(i * 3 % load))
+        return run_get
+
+    def run_scan():
+        seen = 0
+        while seen < ops:
+            for _k, _v in db.scan():
+                seen += 1
+    return run_scan
+
+
+def cmd_profile(workload: str, ops: int, top: int, out: IO[str]) -> int:
+    """cProfile one synthetic workload; print top functions by cumtime."""
+    target = _profile_target(workload, ops)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    target()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.sort_stats("cumulative").print_stats(top)
+    return 0
+
+
 def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
     out = out or sys.stdout
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Inspect and verify LevelDB++ databases.")
+        description="Inspect, verify, and profile LevelDB++ databases.")
     subparsers = parser.add_subparsers(dest="command", required=True)
     for command in ("stats", "dump", "verify"):
         sub = subparsers.add_parser(command)
@@ -102,9 +188,18 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         if command == "dump":
             sub.add_argument("--limit", type=int, default=None,
                              help="stop after N entries")
+    profile = subparsers.add_parser(
+        "profile", help="cProfile a synthetic engine workload")
+    profile.add_argument("workload", choices=PROFILE_WORKLOADS)
+    profile.add_argument("--ops", type=int, default=2000,
+                         help="operations to profile (default 2000)")
+    profile.add_argument("--top", type=int, default=25,
+                         help="functions to print (default 25)")
     args = parser.parse_args(argv)
     if args.command == "stats":
         return cmd_stats(args.directory, args.name, out)
     if args.command == "dump":
         return cmd_dump(args.directory, args.name, out, args.limit)
+    if args.command == "profile":
+        return cmd_profile(args.workload, args.ops, args.top, out)
     return cmd_verify(args.directory, args.name, out)

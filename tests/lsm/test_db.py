@@ -391,3 +391,37 @@ class TestIntrospection:
         db.flush()
         assert db.num_nonempty_levels() == 1  # now one disk level
         db.close()
+
+    def test_stats_snapshot(self):
+        db = DB.open_memory(_options())
+        for i in range(300):
+            db.put(f"k{i:05d}".encode(), b"x" * 60)
+        db.flush()
+        for i in range(0, 300, 5):
+            db.get(f"k{i:05d}".encode())
+        stats = db.stats()
+        assert stats["last_sequence"] == 300
+        assert stats["memtable_entries"] == 0  # just flushed
+        assert len(stats["levels"]) == db.options.max_levels
+        assert sum(stats["levels"]) >= 1
+        assert stats["compaction"]["flush_count"] >= 1
+        assert stats["table_cache"]["open_tables"] >= 1
+        assert stats["table_cache"]["hits"] > 0
+        assert stats["block_cache"] is None  # off by default
+        assert stats["io"]["read_blocks"] > 0
+        assert stats["io"]["write_blocks"] > 0
+        json.dumps(stats)  # the whole report is JSON-serializable
+        db.close()
+
+    def test_stats_reports_block_cache(self):
+        db = DB.open_memory(_options(block_cache_size=32 * 1024))
+        for i in range(100):
+            db.put(f"k{i:05d}".encode(), b"x" * 60)
+        db.flush()
+        db.get(b"k00050")
+        db.get(b"k00050")
+        cache_stats = db.stats()["block_cache"]
+        assert cache_stats is not None
+        assert cache_stats["capacity_bytes"] == 32 * 1024
+        assert cache_stats["hits"] >= 1
+        db.close()

@@ -81,3 +81,25 @@ class TestTableCache:
         assert cache.block_cache is None
         assert cache.get(1)._block_cache is None
         cache.close()
+
+    def test_stats_counters(self):
+        vfs = MemoryVFS()
+        for number in range(1, 4):
+            _write_table(vfs, number)
+        cache = TableCache(vfs, "db", Options(block_size=512),
+                           max_open_files=2)
+        cache.get(1)
+        cache.get(2)
+        cache.get(1)  # hit — moves table 1 to the most-recent end
+        cache.get(3)  # miss — evicts table 2, the least recently used
+        assert cache.stats() == {"open_tables": 2, "max_open_files": 2,
+                                 "hits": 1, "misses": 3, "evictions": 1}
+        assert sorted(cache._tables) == [1, 3]
+        cache.close()
+
+    def test_bound_defaults_to_options(self):
+        vfs = MemoryVFS()
+        cache = TableCache(vfs, "db",
+                           Options(block_size=512, max_open_files=7))
+        assert cache.max_open_files == 7
+        cache.close()

@@ -83,3 +83,23 @@ class TestArgumentParsing:
     def test_missing_command(self, populated_dir):
         with pytest.raises(SystemExit):
             main([], io.StringIO())
+
+    def test_profile_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "nosuch"], io.StringIO())
+
+
+class TestProfile:
+    def test_profile_put_prints_report(self):
+        out = io.StringIO()
+        status = main(["profile", "put", "--ops", "50", "--top", "5"], out)
+        assert status == 0
+        report = out.getvalue()
+        assert "function calls" in report
+        assert "cumulative" in report
+
+    def test_profile_get_hits_engine_internals(self):
+        out = io.StringIO()
+        status = main(["profile", "get", "--ops", "40", "--top", "40"], out)
+        assert status == 0
+        assert "get_with_seq" in out.getvalue()
