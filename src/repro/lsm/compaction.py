@@ -127,7 +127,8 @@ class Compactor:
     """
 
     def __init__(self, vfs, db_name: str, options, versions: VersionSet,
-                 table_cache, log_and_apply, oldest_snapshot_seq) -> None:
+                 table_cache, log_and_apply, oldest_snapshot_seq,
+                 retire_files=None) -> None:
         self.vfs = vfs
         self.db_name = db_name
         self.options = options
@@ -135,7 +136,22 @@ class Compactor:
         self.table_cache = table_cache
         self._log_and_apply = log_and_apply
         self._oldest_snapshot_seq = oldest_snapshot_seq
+        # ``retire_files(file_numbers)`` disposes of compaction inputs once
+        # the edit removing them is applied.  The default deletes them on
+        # the spot; a DB running background compaction passes a callback
+        # that defers deletion while any pinned version still reads them.
+        self._retire_files = retire_files or self._retire_files_now
         self.stats = CompactionStats()
+
+    def _step(self, label: str) -> None:
+        hook = self.options.step_hook
+        if hook is not None:
+            hook(label)
+
+    def _retire_files_now(self, file_numbers) -> None:
+        for file_number in file_numbers:
+            self.table_cache.evict(file_number)
+            self.vfs.delete(table_file_name(self.db_name, file_number))
 
     # -- flush ----------------------------------------------------------------
 
@@ -153,6 +169,7 @@ class Compactor:
         """
         if memtable.is_empty():
             return None
+        self._step("flush:build")
         file_number = self.versions.new_file_number()
         name = table_file_name(self.db_name, file_number)
         out = self.vfs.create(name)
@@ -170,6 +187,7 @@ class Compactor:
         # leave a live-but-torn file.
         out.sync()
         out.close()
+        self._step("flush:install")
         meta = FileMetaData(
             file_number=file_number,
             file_size=props.file_size,
@@ -210,6 +228,7 @@ class Compactor:
         merged = merge_streams(streams)
 
         outputs: list[FileMetaData] = []
+        self._step("compact:merge")
         writer = _OutputWriter(self, compaction.output_level, outputs)
         for user_key, group in _group_by_user_key(merged):
             kept = self._process_group(
@@ -226,11 +245,11 @@ class Compactor:
         if compaction.inputs0:
             pointer = max(meta.largest for meta in compaction.inputs0)
             edit.compact_pointers.append((compaction.level, pointer))
+        self._step("compact:install")
         self._log_and_apply(edit)
 
-        for _level, meta in compaction.input_files():
-            self.table_cache.evict(meta.file_number)
-            self.vfs.delete(table_file_name(self.db_name, meta.file_number))
+        self._retire_files([meta.file_number
+                            for _level, meta in compaction.input_files()])
 
         self.stats.compaction_count += 1
         level_key = compaction.level
@@ -375,6 +394,7 @@ class _OutputWriter:
         ))
         self._builder = None
         self._out = None
+        self.compactor._step("compact:output")
 
     def finish(self) -> None:
         self._close()

@@ -14,19 +14,35 @@ plus:
 * ``key_maybe_in_levels``: the in-memory presence probe behind the
   Embedded index's GetLite validity check.
 
-Writes are synchronous and single-threaded (the paper chose LevelDB for
-exactly this property, to isolate index costs); a MemTable flush and any
-due compactions run inline in the writing call.
+By default, writes are synchronous and single-threaded (the paper chose
+LevelDB for exactly this property, to isolate index costs); a MemTable
+flush and any due compactions run inline in the writing call.
+
+With ``options.background_compaction`` the engine instead runs LevelDB's
+background maintenance pipeline (DESIGN.md §8): the full MemTable seals
+into an *immutable* MemTable that a dedicated compactor thread flushes
+while a fresh MemTable absorbs writes; compactions run on the same
+thread; concurrent writers queue behind a leader that appends and syncs
+all their WAL batches at once (group commit); level-0 pileups slow and
+then stop writers (backpressure waits instead of
+:class:`~repro.lsm.errors.WriteStallError`); and readers pin a
+``(MemTable, immutable MemTable, Version)`` triple plus the published
+sequence number, so every read observes a consistent snapshot without
+holding the mutex.
 """
 
 from __future__ import annotations
 
 import heapq
 import logging
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
 from operator import itemgetter
 from typing import Any, Callable, Iterator
 
-from repro.lsm.compaction import Compaction, Compactor
+from repro.lsm.compaction import Compaction, Compactor, pick_compaction
 from repro.lsm.errors import DBClosedError, InvalidArgumentError
 from repro.lsm.iterator import merge_streams
 from repro.lsm.keys import (
@@ -140,6 +156,62 @@ class Snapshot:
         self.release()
 
 
+def _approximate_batch_bytes(batch: "WriteBatch") -> int:
+    """Upper-bound WAL size of ``batch``, for sizing write groups.
+
+    Counting exact varint widths would mean encoding twice; keys and
+    values dominate, so a fixed per-op overhead is plenty.
+    """
+    return 16 + sum(len(key) + len(value) + 12
+                    for _kind, key, value in batch.ops)
+
+
+class _Writer:
+    """One queued write (LevelDB's ``Writer`` struct).
+
+    Writers park in ``DB._writers``; the one at the head becomes the group
+    leader, commits a prefix of the queue in a single WAL append, and marks
+    every member ``done`` with its last assigned sequence (or the shared
+    error).  ``batch is None`` marks a flush sentinel: it claims the head
+    slot so no leader can insert into the MemTable while ``flush()``
+    rotates it, but it never commits anything itself.
+    """
+
+    __slots__ = ("batch", "done", "seq", "error")
+
+    def __init__(self, batch: "WriteBatch | None") -> None:
+        self.batch = batch
+        self.done = False
+        self.seq = 0
+        self.error: BaseException | None = None
+
+
+class _ReadState:
+    """What one read pins: both MemTables, a Version, the published seq.
+
+    Captured under the mutex in one short critical section; afterwards the
+    read runs lock-free.  The Version is refcounted so background
+    compaction defers deleting table files the read may still touch.
+    """
+
+    __slots__ = ("memtable", "imm", "version", "seq")
+
+
+@dataclass
+class PipelineStats:
+    """Gauges for the background write pipeline (``DB.stats()["pipeline"]``)."""
+
+    stall_events: int = 0          # writer waits at the stop/rotation gates
+    stall_seconds: float = 0.0     # wall time spent in those waits
+    slowdown_events: int = 0       # one-step L0 slowdown pauses
+    write_groups: int = 0          # leader rounds (one WAL append+sync each)
+    group_commit_batches: int = 0  # batches committed through those rounds
+    group_commit_ops: int = 0      # ops committed through those rounds
+    max_group_batches: int = 0     # largest single group
+    bg_flushes: int = 0            # immutable-MemTable flushes by the thread
+    bg_compactions: int = 0        # compactions run by the thread
+
+
 class DB:
     """A LevelDB-style LSM key-value store over a metered VFS."""
 
@@ -157,10 +229,37 @@ class DB:
         self._closed = False
         self._snapshots: list[Snapshot] = []
         self._flush_listeners: list[FlushListener] = []
+        # -- background pipeline state (all guarded by _mutex) --------------
+        self._bg = bool(options.background_compaction)
+        self._mutex = threading.RLock()
+        self._work_cv = threading.Condition(self._mutex)   # bg thread waits
+        self._stall_cv = threading.Condition(self._mutex)  # writers wait
+        self.imm: MemTable | None = None     # sealed MemTable being flushed
+        self._imm_retire_log = 0  # log_number the imm's flush edit records
+        self._imm_old_log = 0     # WAL file deleted once the imm is durable
+        self._writers: deque[_Writer] = deque()
+        self._pending_seq = 0  # last *allocated* seq; published lags behind
+        self._version_pins: dict[int, list] = {}  # id(version) -> [v, refs]
+        self._zombie_tables: set[int] = set()  # retired but pinned files
+        self._bg_thread: threading.Thread | None = None
+        self._bg_stop = False
+        self._bg_error: BaseException | None = None
+        self._bg_compacting = False
+        self._manual_compaction = False
+        self.pipeline_stats = PipelineStats()
         self.compactor = Compactor(
             vfs, name, options, self.versions, self.table_cache,
-            self._log_and_apply, self._oldest_snapshot_seq)
+            self._log_and_apply, self._oldest_snapshot_seq,
+            retire_files=self._retire_table_files)
         self._recover()
+        self._pending_seq = self.versions.last_sequence
+        if self._bg:
+            self._bg_thread = threading.Thread(
+                target=self._background_main, name=f"bg:{name}", daemon=True)
+            self._bg_thread.start()
+            # Under the deterministic scheduler this lets the spawner wait
+            # for the new task to reach its first yield point.
+            self._step(f"spawn:bg:{name}")
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -268,6 +367,28 @@ class DB:
     def close(self) -> None:
         if self._closed:
             return
+        if self._bg_thread is not None:
+            with self._mutex:
+                self._bg_stop = True
+                self._work_cv.notify_all()
+            hook = self.options.step_hook
+            if hook is not None:
+                # Cooperative join: keep yielding to the scheduler so it can
+                # run the background task to completion instead of
+                # deadlocking on a real join while the task is parked.  The
+                # guard keeps this loop out of the schedule until the thread
+                # has actually exited (a plain park would add an unbounded
+                # "poll again" branch to every explored schedule).
+                thread = self._bg_thread
+                park_until = getattr(hook, "park_until", None)
+                while thread.is_alive():
+                    if park_until is not None:
+                        park_until("close:join",
+                                   lambda: not thread.is_alive())
+                    else:
+                        hook("close:join")
+            self._bg_thread.join()
+            self._bg_thread = None
         if self._log is not None:
             # A clean shutdown must not lose acknowledged writes even with
             # sync_writes off: push the WAL tail to stable storage first.
@@ -287,6 +408,53 @@ class DB:
     def _check_open(self) -> None:
         if self._closed:
             raise DBClosedError("database is closed")
+
+    # -- pipeline plumbing ----------------------------------------------------
+
+    def _step(self, label: str) -> None:
+        """Deterministic-scheduler yield point (no-op without a hook).
+
+        Never call this while holding ``_mutex``: a parked task must not
+        block every other task on the lock.
+        """
+        hook = self.options.step_hook
+        if hook is not None:
+            hook(label)
+
+    def _await_locked(self, cv: threading.Condition,
+                      predicate: Callable[[], bool], label: str) -> None:
+        """Wait until ``predicate()`` holds; ``_mutex`` must be held (once).
+
+        With no step hook this is a plain condition wait.  Under the
+        deterministic scheduler, condition variables would park a task
+        outside the scheduler's control, so the wait is rewritten as a
+        yield loop that releases the mutex, parks at ``label``, then
+        reacquires and rechecks — the scheduler decides who runs next.
+        The predicate doubles as the park's *guard* (when the hook
+        supports guards): the scheduler will not pick this task again
+        until the predicate reads true, keeping futile wake-recheck-park
+        cycles out of the explored schedules.  Guard evaluation happens
+        without the mutex, so predicates must be cheap pure reads; the
+        recheck under the mutex here stays authoritative.
+        """
+        if self.options.step_hook is None:
+            cv.wait_for(predicate)
+            return
+        hook = self.options.step_hook
+        park_until = getattr(hook, "park_until", None)
+        while not predicate():
+            self._mutex.release()
+            try:
+                if park_until is not None:
+                    park_until(label, predicate)
+                else:
+                    hook(label)
+            finally:
+                self._mutex.acquire()
+
+    def _raise_if_bg_failed(self) -> None:
+        if self._bg_error is not None:
+            raise self._bg_error
 
     # -- writes -----------------------------------------------------------------
 
@@ -311,8 +479,12 @@ class DB:
         Raises :class:`~repro.lsm.errors.WriteStallError` when level 0 has
         reached ``l0_stop_writes_trigger`` files — only reachable with
         ``disable_auto_compaction``, since inline compaction otherwise
-        drains level 0 as it fills.
+        drains level 0 as it fills.  With ``background_compaction`` the
+        same condition blocks the writer until the background thread
+        drains level 0 instead of raising.
         """
+        if self._bg:
+            return self._write_concurrent(batch)
         self._check_open()
         if not batch.ops:
             return self.versions.last_sequence
@@ -346,8 +518,353 @@ class DB:
             return
         self.flush()
 
+    # -- concurrent write path (background_compaction) -------------------------
+
+    def _write_concurrent(self, batch: WriteBatch) -> int:
+        """LevelDB's leader/follower group commit.
+
+        Every writer enqueues and waits until either (a) a leader already
+        committed it, or (b) it reaches the queue head and becomes the
+        leader itself.  The leader makes room (stall ladder), claims a
+        contiguous sequence range for a prefix of the queue, then — with
+        the mutex *released*, since it alone owns the WAL and the active
+        MemTable head — appends all batches in one WAL write, inserts them
+        into the MemTable, and finally publishes ``last_sequence``.
+        Readers snapshot the published value, so a half-applied group is
+        never visible: sequences become readable only after every MemTable
+        insert of the group completed.
+        """
+        self._check_open()
+        if not batch.ops:
+            return self.versions.last_sequence
+        writer = _Writer(batch)
+        with self._mutex:
+            self._raise_if_bg_failed()
+            self._writers.append(writer)
+            self._await_locked(
+                self._stall_cv,
+                lambda: writer.done or self._writers[0] is writer,
+                "write:queue")
+            if writer.done:
+                if writer.error is not None:
+                    raise writer.error
+                return writer.seq
+            # This writer is now the leader.
+            try:
+                self._make_room_for_write()
+                group = [writer]
+                group_bytes = _approximate_batch_bytes(writer.batch)
+                for candidate in list(self._writers)[1:]:
+                    if candidate.batch is None:
+                        break  # flush sentinel: do not commit past it
+                    size = _approximate_batch_bytes(candidate.batch)
+                    if group_bytes + size > self.options.max_write_group_bytes:
+                        break
+                    group.append(candidate)
+                    group_bytes += size
+                total_ops = sum(len(w.batch.ops) for w in group)
+                if self.options.sequence_oracle is not None:
+                    start_seq = self.options.sequence_oracle(total_ops)
+                    if start_seq <= self._pending_seq:
+                        raise InvalidArgumentError(
+                            f"sequence oracle went backwards: {start_seq} "
+                            f"<= {self._pending_seq}")
+                else:
+                    start_seq = self._pending_seq + 1
+                self._pending_seq = start_seq + total_ops - 1
+            except BaseException:
+                self._writers.remove(writer)
+                self._stall_cv.notify_all()
+                raise
+            memtable = self.memtable
+            log = self._log
+        # -- mutex released: only the leader runs here ---------------------
+        error: BaseException | None = None
+        seqs: list[int] = []
+        payloads: list[bytes] = []
+        seq = start_seq
+        for member in group:
+            payloads.append(member.batch.encode(seq))
+            seqs.append(seq)
+            seq += len(member.batch.ops)
+        self._step("write:wal")
+        try:
+            assert log is not None
+            log.add_records(payloads)
+            self._step("write:memtable")
+            for member, member_seq in zip(group, seqs):
+                for offset, (kind, key, value) in enumerate(member.batch.ops):
+                    memtable.add(member_seq + offset, kind, key, value)
+        except BaseException as exc:  # noqa: BLE001 - propagated to the group
+            error = exc
+        self._step("write:publish")
+        with self._mutex:
+            if error is None:
+                self.versions.last_sequence = max(
+                    self.versions.last_sequence, start_seq + total_ops - 1)
+            stats = self.pipeline_stats
+            stats.write_groups += 1
+            stats.group_commit_batches += len(group)
+            stats.group_commit_ops += total_ops
+            if len(group) > stats.max_group_batches:
+                stats.max_group_batches = len(group)
+            for member, member_seq in zip(group, seqs):
+                popped = self._writers.popleft()
+                assert popped is member
+                member.seq = member_seq + len(member.batch.ops) - 1
+                member.error = error
+                member.done = True
+            self._stall_cv.notify_all()
+            # Eager rotation keeps the pipeline primed: hand the full
+            # MemTable to the background thread now instead of making the
+            # next writer pay for the rotation.
+            if (error is None and self.imm is None
+                    and self.memtable.approximate_memory_usage
+                    >= self.options.memtable_budget):
+                self._rotate_memtable_locked()
+        if error is not None:
+            raise error
+        return writer.seq
+
+    def _make_room_for_write(self) -> None:
+        """LevelDB's write-stall ladder; called by the leader, mutex held.
+
+        In order: a one-step *slowdown* pause when level 0 approaches the
+        stop trigger (spreads delay across writers instead of one long
+        stall), a wait for the previous immutable MemTable to drain when
+        the active one is full, and a hard *stop* wait when level 0 is at
+        the stop trigger.  With ``disable_auto_compaction`` nothing would
+        ever drain level 0, so the stop condition raises instead of
+        deadlocking — same contract as the inline path.
+        """
+        options = self.options
+        allow_delay = True
+        stats = self.pipeline_stats
+        while True:
+            self._raise_if_bg_failed()
+            l0_files = self.versions.current.num_files(0)
+            if l0_files >= options.l0_stop_writes_trigger \
+                    and options.disable_auto_compaction:
+                from repro.lsm.errors import WriteStallError
+
+                raise WriteStallError(
+                    f"level 0 holds {l0_files} files "
+                    f"(stop trigger {options.l0_stop_writes_trigger}); "
+                    f"run compact_range() or enable auto compaction")
+            if allow_delay and not options.disable_auto_compaction \
+                    and options.l0_slowdown_writes_trigger <= l0_files \
+                    < options.l0_stop_writes_trigger:
+                allow_delay = False  # at most one pause per write
+                stats.slowdown_events += 1
+                self._mutex.release()
+                try:
+                    if self.options.step_hook is not None:
+                        self.options.step_hook("stall:slowdown")
+                    else:
+                        time.sleep(options.slowdown_sleep_seconds)
+                finally:
+                    self._mutex.acquire()
+                continue
+            if self.memtable.approximate_memory_usage \
+                    < options.memtable_budget:
+                return
+            if self.imm is not None:
+                started = time.perf_counter()
+                stats.stall_events += 1
+                self._await_locked(
+                    self._stall_cv,
+                    lambda: self.imm is None or self._bg_error is not None,
+                    "stall:memtable")
+                stats.stall_seconds += time.perf_counter() - started
+                continue
+            if l0_files >= options.l0_stop_writes_trigger:
+                started = time.perf_counter()
+                stats.stall_events += 1
+                self._await_locked(
+                    self._stall_cv,
+                    lambda: (self.versions.current.num_files(0)
+                             < options.l0_stop_writes_trigger
+                             or self._bg_error is not None),
+                    "stall:stop")
+                stats.stall_seconds += time.perf_counter() - started
+                continue
+            self._rotate_memtable_locked()
+            return
+
+    def _rotate_memtable_locked(self) -> None:
+        """Seal the active MemTable into ``imm`` and switch to a new WAL.
+
+        Mutex held; ``self.imm`` must be ``None``.  The old WAL stays on
+        disk until the background flush durably installs the level-0 table
+        whose edit records the *new* log number — the same
+        crash-consistency invariant as the inline flush.
+        """
+        assert self.imm is None
+        old_log_number = self._log_number
+        new_log_number = self.versions.new_file_number()
+        assert self._log is not None
+        self._log.close()
+        self._log = LogWriter(
+            self.vfs.create(log_file_name(self.name, new_log_number)),
+            sync=self.options.sync_writes)
+        self._log_number = new_log_number
+        self.memtable.seal()
+        self.imm = self.memtable
+        self._imm_retire_log = new_log_number
+        self._imm_old_log = old_log_number
+        self.memtable = MemTable()
+        self._work_cv.notify_all()
+
+    # -- background thread -----------------------------------------------------
+
+    def _background_work_ready(self) -> bool:
+        # Mutex held (predicate of _await_locked).
+        if self._bg_stop or self.imm is not None:
+            return True
+        if self._manual_compaction or self.options.disable_auto_compaction:
+            return False
+        return pick_compaction(self.versions) is not None
+
+    def _background_main(self) -> None:
+        """Main loop of the maintenance thread: flush ``imm``, then compact.
+
+        Any exception (including a simulated crash from the fault-injecting
+        VFS) is captured into ``_bg_error`` and re-raised to the next
+        foreground writer/flush, mirroring LevelDB's sticky background
+        error.
+        """
+        try:
+            while True:
+                imm = None
+                compaction = None
+                with self._mutex:
+                    self._await_locked(
+                        self._work_cv, self._background_work_ready, "bg:idle")
+                    if self._bg_stop:
+                        return
+                    imm = self.imm
+                    if imm is None and not self._manual_compaction \
+                            and not self.options.disable_auto_compaction:
+                        compaction = pick_compaction(self.versions)
+                        if compaction is not None:
+                            self._bg_compacting = True
+                if imm is not None:
+                    self._step("bg:flush")
+                    self._background_flush(imm)
+                elif compaction is not None:
+                    self._step("bg:compact")
+                    try:
+                        self.compactor.run(compaction)
+                    finally:
+                        with self._mutex:
+                            self._bg_compacting = False
+                            self.pipeline_stats.bg_compactions += 1
+                            self._stall_cv.notify_all()
+        except BaseException as exc:  # noqa: BLE001 - surfaced as _bg_error
+            with self._mutex:
+                self._bg_error = exc
+                self._bg_compacting = False
+                self._stall_cv.notify_all()
+
+    def _background_flush(self, imm: MemTable) -> None:
+        """Flush the immutable MemTable and retire its WAL."""
+        self.compactor.flush_memtable(imm, log_number=self._imm_retire_log)
+        flushed_max_seq = imm.max_seq or 0
+        old_log = self._imm_old_log
+        with self._mutex:
+            self.imm = None
+            self.pipeline_stats.bg_flushes += 1
+            self._stall_cv.notify_all()
+        self.vfs.delete_if_exists(log_file_name(self.name, old_log))
+        # Listeners run on the background thread in pipeline mode.
+        for listener in self._flush_listeners:
+            listener(flushed_max_seq)
+
+    def _retire_table_files(self, file_numbers: list[int]) -> None:
+        """Dispose of compaction-input tables, honoring pinned versions.
+
+        A snapshot-isolated read pins the Version it started from; deleting
+        a table that version references would yank blocks out from under
+        the read.  Such files become *zombies*, deleted when the last pin
+        drops (see :meth:`_release_read_state`).  With no pins — always the
+        case inline — this deletes immediately, matching the old behavior.
+        """
+        from repro.lsm.manifest import table_file_name
+
+        with self._mutex:
+            pinned = [entry[0] for entry in self._version_pins.values()]
+            current_live = self.versions.current.live_file_numbers()
+            for file_number in file_numbers:
+                if file_number in current_live:
+                    continue  # resurrected by a racing edit; keep it
+                if any(file_number in version.live_file_numbers()
+                       for version in pinned):
+                    self._zombie_tables.add(file_number)
+                else:
+                    self.table_cache.evict(file_number)
+                    self.vfs.delete(table_file_name(self.name, file_number))
+
+    # -- snapshot-isolated read state -------------------------------------------
+
+    def _acquire_read_state(self) -> _ReadState:
+        """Pin everything one read needs, in one short critical section."""
+        # The one scheduling point of the read path: once pinned, snapshot
+        # isolation makes the rest of the read independent of concurrent
+        # writers, so yielding *here* lets the deterministic harness explore
+        # every distinct read outcome.
+        self._step("read:pin")
+        state = _ReadState()
+        with self._mutex:
+            state.memtable = self.memtable
+            state.imm = self.imm
+            state.version = self.versions.current
+            state.seq = self.versions.last_sequence
+            key = id(state.version)
+            entry = self._version_pins.get(key)
+            if entry is None:
+                self._version_pins[key] = [state.version, 1]
+            else:
+                entry[1] += 1
+        return state
+
+    def _release_read_state(self, state: _ReadState) -> None:
+        from repro.lsm.manifest import table_file_name
+
+        with self._mutex:
+            key = id(state.version)
+            entry = self._version_pins.get(key)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] > 0:
+                return
+            del self._version_pins[key]
+            if not self._zombie_tables:
+                return
+            current_live = self.versions.current.live_file_numbers()
+            still_pinned = [e[0] for e in self._version_pins.values()]
+            for file_number in sorted(self._zombie_tables):
+                if file_number in current_live:
+                    self._zombie_tables.discard(file_number)
+                    continue
+                if any(file_number in version.live_file_numbers()
+                       for version in still_pinned):
+                    continue
+                self._zombie_tables.discard(file_number)
+                self.table_cache.evict(file_number)
+                self.vfs.delete_if_exists(
+                    table_file_name(self.name, file_number))
+
     def flush(self) -> None:
-        """Flush the MemTable to a level-0 SSTable and run due compactions."""
+        """Flush the MemTable to a level-0 SSTable and run due compactions.
+
+        In pipeline mode this seals the active MemTable (if non-empty) and
+        blocks until the background thread has drained every immutable
+        MemTable — i.e. all data acknowledged so far is in level 0.
+        """
+        if self._bg:
+            self._flush_concurrent()
+            return
         self._check_open()
         if self.memtable.is_empty():
             return
@@ -374,19 +891,61 @@ class DB:
         if not self.options.disable_auto_compaction:
             self.compactor.maybe_compact()
 
+    def _flush_concurrent(self) -> None:
+        """Pipeline-mode flush: rotate under a queue sentinel, then drain.
+
+        The sentinel claims the writer-queue head so no leader can be
+        inserting into the active MemTable while it is sealed; pending
+        writers simply commit after the rotation, into the fresh MemTable.
+        """
+        self._check_open()
+        sentinel = _Writer(None)
+        with self._mutex:
+            self._raise_if_bg_failed()
+            self._writers.append(sentinel)
+            self._await_locked(
+                self._stall_cv,
+                lambda: self._writers[0] is sentinel,
+                "flush:queue")
+            try:
+                if not self.memtable.is_empty():
+                    self._await_locked(
+                        self._stall_cv,
+                        lambda: self.imm is None or self._bg_error is not None,
+                        "flush:room")
+                    self._raise_if_bg_failed()
+                    self._rotate_memtable_locked()
+            finally:
+                popped = self._writers.popleft()
+                assert popped is sentinel
+                self._stall_cv.notify_all()
+            self._await_locked(
+                self._stall_cv,
+                lambda: self.imm is None or self._bg_error is not None,
+                "flush:drain")
+            self._raise_if_bg_failed()
+
     def _log_and_apply(self, edit: VersionEdit) -> None:
-        edit.next_file_number = self.versions.next_file_number
-        edit.last_sequence = self.versions.last_sequence
-        if self._manifest is None:
-            # Recovery-time flush: the manifest does not exist yet.  The
-            # self-contained snapshot edit written right after captures the
-            # applied state, so nothing is lost by skipping the log.
+        # The mutex serializes a foreground manual compaction against the
+        # background thread's flush installs, and makes each manifest
+        # log+apply atomic with respect to readers pinning the current
+        # version.  Inline (single-threaded) it is uncontended.
+        with self._mutex:
+            edit.next_file_number = self.versions.next_file_number
+            edit.last_sequence = self.versions.last_sequence
+            if self._manifest is None:
+                # Recovery-time flush: the manifest does not exist yet.  The
+                # self-contained snapshot edit written right after captures
+                # the applied state, so nothing is lost by skipping the log.
+                self.versions.apply(edit)
+                return
+            self._manifest.log_edit(edit)
             self.versions.apply(edit)
-            return
-        self._manifest.log_edit(edit)
-        self.versions.apply(edit)
-        if self._manifest.size > self.options.max_manifest_size:
-            self._roll_manifest()
+            if self._manifest.size > self.options.max_manifest_size:
+                self._roll_manifest()
+            # New level-0 files may unblock stalled writers or create work.
+            self._stall_cv.notify_all()
+            self._work_cv.notify_all()
 
     def _roll_manifest(self) -> None:
         """Replace the grown manifest with one snapshot-edit manifest.
@@ -438,10 +997,26 @@ class DB:
         it is the "time" the value last changed.
         """
         self._check_open()
-        max_seq = snapshot.seq if snapshot is not None else MAX_SEQUENCE
+        if not self._bg:
+            max_seq = snapshot.seq if snapshot is not None else MAX_SEQUENCE
+            return self._get_with_seq_pinned(key, max_seq, None)
+        state = self._acquire_read_state()
+        try:
+            # Without an explicit snapshot, the published sequence at read
+            # start is the implicit one: a concurrently committing group
+            # publishes only after all its MemTable inserts, so no torn
+            # (half-a-batch) read is possible.
+            max_seq = snapshot.seq if snapshot is not None else state.seq
+            return self._get_with_seq_pinned(key, max_seq, state)
+        finally:
+            self._release_read_state(state)
+
+    def _get_with_seq_pinned(self, key: bytes, max_seq: int,
+                             state: _ReadState | None
+                             ) -> tuple[bytes, int] | None:
         operands: list[bytes] = []
         newest_seq: int | None = None
-        for kind, seq, value in self._versions_of(key, max_seq):
+        for kind, seq, value in self._versions_of(key, max_seq, state):
             if newest_seq is None:
                 newest_seq = seq
             if kind == KIND_MERGE:
@@ -471,12 +1046,22 @@ class DB:
             oldest_first.insert(0, base)
         return operator(key, oldest_first)
 
-    def _versions_of(self, key: bytes,
-                     max_seq: int) -> Iterator[tuple[int, int, bytes]]:
+    def _versions_of(self, key: bytes, max_seq: int,
+                     state: _ReadState | None = None
+                     ) -> Iterator[tuple[int, int, bytes]]:
         """All stored versions of ``key``, newest first, across components."""
-        for entry in self.memtable.versions(key, max_seq):
-            yield entry.kind, entry.seq, entry.value
-        version = self.versions.current
+        if state is None:
+            memtables = (self.memtable,)
+            version = self.versions.current
+        else:
+            # Active MemTable first: its sequences are strictly newer than
+            # the immutable one's, preserving newest-first order.
+            memtables = (state.memtable,) if state.imm is None \
+                else (state.memtable, state.imm)
+            version = state.version
+        for memtable in memtables:
+            for entry in memtable.versions(key, max_seq):
+                yield entry.kind, entry.seq, entry.value
         table_cache_get = self.table_cache.get
         # Level 0 files may each hold versions; interleave them by seq.
         l0_entries: list[tuple[int, int, bytes]] = []
@@ -503,12 +1088,33 @@ class DB:
         moves down in the storage hierarchy one level at a time".
         """
         self._check_open()
+        if self._bg:
+            state = self._acquire_read_state()
+            try:
+                if max_seq == MAX_SEQUENCE:
+                    max_seq = state.seq  # implicit snapshot, as in get()
+                return self._fragments_pinned(key, max_seq, state)
+            finally:
+                self._release_read_state(state)
+        return self._fragments_pinned(key, max_seq, None)
+
+    def _fragments_pinned(self, key: bytes, max_seq: int,
+                          state: _ReadState | None
+                          ) -> list[tuple[int, list[tuple[int, int, bytes]]]]:
         out: list[tuple[int, list[tuple[int, int, bytes]]]] = []
+        if state is None:
+            memtables = (self.memtable,)
+            version = self.versions.current
+        else:
+            memtables = (state.memtable,) if state.imm is None \
+                else (state.memtable, state.imm)
+            version = state.version
         mem = [(e.kind, e.seq, e.value)
-               for e in self.memtable.versions(key, max_seq)]
+               for memtable in memtables
+               for e in memtable.versions(key, max_seq)]
         if mem:
+            mem.sort(key=lambda item: -item[1])
             out.append((-1, mem))
-        version = self.versions.current
         for level in range(self.options.max_levels):
             found: list[tuple[int, int, bytes]] = []
             for meta in version.files_containing_key(level, key):
@@ -531,15 +1137,28 @@ class DB:
         May return false positives at the bloom rate; never false negatives.
         """
         self._check_open()
-        if include_memtable and self.memtable.get(key) is not None:
-            return True
-        version = self.versions.current
-        for level in range(min(below_level, self.options.max_levels)):
-            for meta in version.files_containing_key(level, key):
-                table = self.table_cache.get(meta.file_number)
-                if table.may_contain_user_key(key):
-                    return True
-        return False
+        state = self._acquire_read_state() if self._bg else None
+        try:
+            if state is None:
+                memtables = (self.memtable,)
+                version = self.versions.current
+            else:
+                memtables = (state.memtable,) if state.imm is None \
+                    else (state.memtable, state.imm)
+                version = state.version
+            if include_memtable:
+                for memtable in memtables:
+                    if memtable.get(key) is not None:
+                        return True
+            for level in range(min(below_level, self.options.max_levels)):
+                for meta in version.files_containing_key(level, key):
+                    table = self.table_cache.get(meta.file_number)
+                    if table.may_contain_user_key(key):
+                        return True
+            return False
+        finally:
+            if state is not None:
+                self._release_read_state(state)
 
     # -- range reads ------------------------------------------------------------
 
@@ -565,11 +1184,32 @@ class DB:
         per-entry generator hand-off happens between pipeline stages.
         """
         self._check_open()
-        max_seq = snapshot.seq if snapshot is not None else MAX_SEQUENCE
+        if not self._bg:
+            max_seq = snapshot.seq if snapshot is not None else MAX_SEQUENCE
+            yield from self._scan_pinned(lo, hi, max_seq, None, category)
+            return
+        state = self._acquire_read_state()
+        try:
+            max_seq = snapshot.seq if snapshot is not None else state.seq
+            yield from self._scan_pinned(lo, hi, max_seq, state, category)
+        finally:
+            # Released when the scan is exhausted, closed, or abandoned
+            # (generator finalization runs this finally block).
+            self._release_read_state(state)
+
+    def _scan_pinned(self, lo: bytes | None, hi: bytes | None, max_seq: int,
+                     state: _ReadState | None, category: Category
+                     ) -> Iterator[tuple[bytes, bytes, int]]:
         start_key = None if lo is None else \
             pack_internal_key(lo, MAX_SEQUENCE, KIND_FOR_SEEK)
-        streams = [self._memtable_sorted(lo)]
-        version = self.versions.current
+        if state is None:
+            streams = [self._memtable_sorted(lo)]
+            version = self.versions.current
+        else:
+            streams = [self._memtable_sorted(lo, state.memtable)]
+            if state.imm is not None:
+                streams.append(self._memtable_sorted(lo, state.imm))
+            version = state.version
         table_cache_get = self.table_cache.get
         # Level-0 files overlap: one heap stream each.  Deeper levels are
         # disjoint and sorted, so a whole level concatenates into a single
@@ -659,27 +1299,33 @@ class DB:
             yield from table_cache_get(meta.file_number) \
                 .sorted_entries(start_key, category)
 
-    def _memtable_sorted(self, lo: bytes | None
+    def _memtable_sorted(self, lo: bytes | None,
+                         memtable: MemTable | None = None
                          ) -> Iterator[tuple[tuple[bytes, int], bytes]]:
         """MemTable entries as ``(sort_key, value)`` pairs for the scan path."""
+        if memtable is None:
+            memtable = self.memtable
         if lo is None:
-            for entry in self.memtable:
+            for entry in memtable:
                 yield ((entry.user_key, -((entry.seq << 8) | entry.kind)),
                        entry.value)
             return
-        for _key, entry in self.memtable._list.items_from((lo, 0)):
+        for _key, entry in memtable._list.items_from((lo, 0)):
             yield ((entry.user_key, -((entry.seq << 8) | entry.kind)),
                    entry.value)
 
-    def _memtable_stream(self, lo: bytes | None
+    def _memtable_stream(self, lo: bytes | None,
+                         memtable: MemTable | None = None
                          ) -> Iterator[tuple[InternalKey, bytes]]:
+        if memtable is None:
+            memtable = self.memtable
         if lo is None:
-            for entry in self.memtable:
+            for entry in memtable:
                 yield InternalKey(entry.user_key, entry.seq, entry.kind), \
                     entry.value
             return
         start = (lo, 0)
-        for (_user_key, _inv_seq), entry in self.memtable._list.items_from(start):
+        for (_user_key, _inv_seq), entry in memtable._list.items_from(start):
             yield InternalKey(entry.user_key, entry.seq, entry.kind), \
                 entry.value
 
@@ -704,25 +1350,41 @@ class DB:
         Entries outside ``[lo, hi]`` (user keys) are excluded.
         """
         self._check_open()
-        if level == -1:
-            stream: Iterator[tuple[InternalKey, bytes]] = \
-                self._memtable_stream(lo)
-        else:
-            version = self.versions.current
-            files = version.overlapping_files(level, lo, hi)
-            if level == 0:
-                stream = merge_streams([
-                    self._table_stream_from(
-                        self.table_cache.get(meta.file_number), lo, category)
-                    for meta in files])
+        state = self._acquire_read_state() if self._bg else None
+        try:
+            if level == -1:
+                if state is None:
+                    stream: Iterator[tuple[InternalKey, bytes]] = \
+                        self._memtable_stream(lo)
+                elif state.imm is None:
+                    stream = self._memtable_stream(lo, state.memtable)
+                else:
+                    # Level -1 is "the in-memory component": both MemTables,
+                    # merged into one internal-key-ordered stream.
+                    stream = merge_streams([
+                        self._memtable_stream(lo, state.memtable),
+                        self._memtable_stream(lo, state.imm)])
             else:
-                stream = self._concat_tables(files, lo, category)
-        for ikey, value in stream:
-            if lo is not None and ikey.user_key < lo:
-                continue
-            if hi is not None and ikey.user_key > hi:
-                return
-            yield ikey, value
+                version = self.versions.current if state is None \
+                    else state.version
+                files = version.overlapping_files(level, lo, hi)
+                if level == 0:
+                    stream = merge_streams([
+                        self._table_stream_from(
+                            self.table_cache.get(meta.file_number), lo,
+                            category)
+                        for meta in files])
+                else:
+                    stream = self._concat_tables(files, lo, category)
+            for ikey, value in stream:
+                if lo is not None and ikey.user_key < lo:
+                    continue
+                if hi is not None and ikey.user_key > hi:
+                    return
+                yield ikey, value
+        finally:
+            if state is not None:
+                self._release_read_state(state)
 
     def _concat_tables(self, files, lo: bytes | None, category: Category
                        ) -> Iterator[tuple[InternalKey, bytes]]:
@@ -735,24 +1397,61 @@ class DB:
     def snapshot(self) -> Snapshot:
         """Pin the current sequence number for consistent reads."""
         self._check_open()
-        snap = Snapshot(self, self.versions.last_sequence)
-        self._snapshots.append(snap)
-        return snap
+        with self._mutex:
+            # The *published* sequence: an in-flight write group's data is
+            # never included, even mid-commit.
+            snap = Snapshot(self, self.versions.last_sequence)
+            self._snapshots.append(snap)
+            return snap
 
     def _release_snapshot(self, snap: Snapshot) -> None:
-        self._snapshots = [s for s in self._snapshots if s is not snap]
+        with self._mutex:
+            self._snapshots = [s for s in self._snapshots if s is not snap]
 
     def _oldest_snapshot_seq(self) -> int:
-        if not self._snapshots:
-            return MAX_SEQUENCE
-        return min(snap.seq for snap in self._snapshots)
+        # Called from the background thread (compaction's drop criterion)
+        # and from foreground compactions alike.
+        with self._mutex:
+            if not self._snapshots:
+                return MAX_SEQUENCE
+            return min(snap.seq for snap in self._snapshots)
 
     # -- maintenance & introspection ---------------------------------------------
 
     def compact_range(self) -> None:
-        """Flush, then push every level's data downward once (manual, full)."""
+        """Flush, then push every level's data downward once (manual, full).
+
+        In pipeline mode the manual compaction runs on the calling thread
+        but first takes the *manual-compaction slot*: the background thread
+        stops picking automatic compactions (flushes still run) so the two
+        never install conflicting edits over the same input files.
+        """
         self._check_open()
         self.flush()
+        if self._bg:
+            with self._mutex:
+                self._manual_compaction = True
+                self._work_cv.notify_all()
+                try:
+                    self._await_locked(
+                        self._stall_cv,
+                        lambda: not self._bg_compacting
+                        or self._bg_error is not None,
+                        "manual:exclusive")
+                    self._raise_if_bg_failed()
+                except BaseException:
+                    self._manual_compaction = False
+                    self._work_cv.notify_all()
+                    raise
+        try:
+            self._compact_range_levels()
+        finally:
+            if self._bg:
+                with self._mutex:
+                    self._manual_compaction = False
+                    self._work_cv.notify_all()
+
+    def _compact_range_levels(self) -> None:
         for level in range(self.options.max_levels - 1):
             files = list(self.versions.current.levels[level])
             if not files:
@@ -775,25 +1474,34 @@ class DB:
         self.flush()
         from repro.lsm.manifest import ManifestWriter, table_file_name
 
-        copied = 0
-        edit = VersionEdit(
-            log_number=0,
-            next_file_number=self.versions.next_file_number,
-            last_sequence=self.versions.last_sequence)
-        for level, meta in self.versions.current.all_files():
-            payload = self.vfs.read_whole(
-                table_file_name(self.name, meta.file_number),
-                Category.OTHER)
-            dest_vfs.write_whole(
-                table_file_name(dest_name, meta.file_number), payload,
-                Category.OTHER)
-            edit.add_file(level, meta)
-            copied += 1
-        manifest = ManifestWriter(dest_vfs, dest_name, 1)
-        manifest.log_edit(edit)
-        manifest.install_as_current()
-        manifest.close()
-        return copied
+        # Pinning the version keeps background compaction from deleting a
+        # table file mid-copy (it becomes a zombie until we release).
+        state = self._acquire_read_state() if self._bg else None
+        try:
+            version = self.versions.current if state is None \
+                else state.version
+            copied = 0
+            edit = VersionEdit(
+                log_number=0,
+                next_file_number=self.versions.next_file_number,
+                last_sequence=self.versions.last_sequence)
+            for level, meta in version.all_files():
+                payload = self.vfs.read_whole(
+                    table_file_name(self.name, meta.file_number),
+                    Category.OTHER)
+                dest_vfs.write_whole(
+                    table_file_name(dest_name, meta.file_number), payload,
+                    Category.OTHER)
+                edit.add_file(level, meta)
+                copied += 1
+            manifest = ManifestWriter(dest_vfs, dest_name, 1)
+            manifest.log_edit(edit)
+            manifest.install_as_current()
+            manifest.close()
+            return copied
+        finally:
+            if state is not None:
+                self._release_read_state(state)
 
     def verify_integrity(self):
         """Audit the database's persistent state; see :mod:`repro.lsm.checker`.
@@ -862,7 +1570,42 @@ class DB:
                 "read_bytes": io.read_bytes,
                 "write_bytes": io.write_bytes,
             },
+            "pipeline": self._pipeline_stats_dict(),
         }
+
+    def _pipeline_stats_dict(self) -> dict[str, Any]:
+        pipeline = self.pipeline_stats
+        with self._mutex:
+            version = self.versions.current
+            # Queue depth: pending immutable MemTable plus levels whose
+            # score says "compact now" — the work the background thread
+            # still owes.
+            depth = 1 if self.imm is not None else 0
+            if version.num_files(0) >= self.options.l0_compaction_trigger:
+                depth += 1
+            for level in range(1, self.options.max_levels - 1):
+                if version.level_size(level) \
+                        >= self.options.max_bytes_for_level(level):
+                    depth += 1
+            groups = pipeline.write_groups
+            return {
+                "background": self._bg,
+                "imm_pending": 1 if self.imm is not None else 0,
+                "compaction_queue_depth": depth,
+                "stall_events": pipeline.stall_events,
+                "stall_seconds": pipeline.stall_seconds,
+                "slowdown_events": pipeline.slowdown_events,
+                "write_groups": groups,
+                "group_commit_batches": pipeline.group_commit_batches,
+                "group_commit_ops": pipeline.group_commit_ops,
+                "mean_group_batches": (
+                    pipeline.group_commit_batches / groups if groups else 0.0),
+                "max_group_batches": pipeline.max_group_batches,
+                "bg_flushes": pipeline.bg_flushes,
+                "bg_compactions": pipeline.bg_compactions,
+                "bg_error": (None if self._bg_error is None
+                             else repr(self._bg_error)),
+            }
 
     def level_file_counts(self) -> list[int]:
         return [len(files) for files in self.versions.current.levels]

@@ -43,6 +43,7 @@ class MemTable:
         self._memory = 0
         self._min_seq: int | None = None
         self._max_seq: int | None = None
+        self._sealed = False
 
     def __len__(self) -> int:
         return len(self._list)
@@ -59,8 +60,25 @@ class MemTable:
     def max_seq(self) -> int | None:
         return self._max_seq
 
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def seal(self) -> None:
+        """Freeze this MemTable for the immutable flush handoff.
+
+        A sealed MemTable rejects further inserts; readers keep working.
+        The background pipeline (DESIGN.md §8) seals the active MemTable
+        when it fills, hands it to the compactor thread, and swaps in a
+        fresh one — sealing turns the single-writer skip list into
+        read-only shared state that is safe to scan from any thread.
+        """
+        self._sealed = True
+
     def add(self, seq: int, kind: int, user_key: bytes, value: bytes) -> None:
         """Insert one version.  ``value`` is ignored for deletions."""
+        if self._sealed:
+            raise RuntimeError("cannot add to a sealed MemTable")
         if kind not in (KIND_VALUE, KIND_DELETE, KIND_MERGE):
             raise ValueError(f"invalid kind: {kind}")
         entry = MemTableEntry(user_key, seq, kind, value)

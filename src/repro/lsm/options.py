@@ -18,6 +18,7 @@ from typing import Any, Callable
 AttributeExtractor = Callable[[bytes], dict[str, Any]]
 MergeOperator = Callable[[bytes, list[bytes]], bytes]
 SequenceOracle = Callable[[int], int]
+StepHook = Callable[[str], None]
 
 
 def resolve_attribute_path(document: dict[str, Any], path: str) -> Any:
@@ -139,6 +140,34 @@ class Options:
         :class:`~repro.lsm.errors.WriteStallError` beyond it — LevelDB's
         stop-writes backpressure, surfaced as an error instead of a sleep
         because this engine is synchronous.
+    background_compaction:
+        Move flushes and compactions off the foreground write path (DESIGN.md
+        §8).  When on, a full write sends the MemTable into an *immutable*
+        handoff buffer that a background thread flushes while a fresh
+        MemTable absorbs writes; compactions run on the same thread;
+        concurrent writers share one WAL append/sync per group (group
+        commit); and write stalls become waits (slowdown pause at
+        ``l0_slowdown_writes_trigger``, hard wait at
+        ``l0_stop_writes_trigger``) instead of errors.  Off by default: the
+        paper's experiments depend on the synchronous engine's byte-identical
+        determinism, which the golden-vector tests pin.
+    l0_slowdown_writes_trigger:
+        With ``background_compaction``, a writer pauses briefly once level 0
+        holds this many files (LevelDB's soft backpressure), giving the
+        background thread a head start before the hard stop trigger.
+    slowdown_sleep_seconds:
+        Length of one slowdown pause (LevelDB sleeps 1 ms).
+    max_write_group_bytes:
+        Group commit stops coalescing queued writers once the combined
+        encoded batches reach this size (LevelDB caps groups at 1 MiB).
+    step_hook:
+        Test-only instrumentation: when set, the engine calls
+        ``step_hook(label)`` at the named yield points of the background
+        pipeline (``"write:wal"``, ``"bg:flush:install"``, ...), and every
+        internal wait spins through the hook instead of blocking on a
+        condition variable.  The deterministic scheduler in
+        :mod:`repro.lsm.testing` uses this to serialise all threads and
+        enumerate interleavings.  ``None`` (the default) costs nothing.
     """
 
     block_size: int = 4096
@@ -164,6 +193,11 @@ class Options:
     sync_writes: bool = False
     disable_auto_compaction: bool = False
     max_manifest_size: int = 64 * 1024
+    background_compaction: bool = False
+    l0_slowdown_writes_trigger: int = 8
+    slowdown_sleep_seconds: float = 0.001
+    max_write_group_bytes: int = 1 << 20
+    step_hook: StepHook | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -182,6 +216,13 @@ class Options:
         if self.l0_stop_writes_trigger < self.l0_compaction_trigger:
             raise ValueError(
                 "l0_stop_writes_trigger must be >= l0_compaction_trigger")
+        # Keep the soft trigger inside [compaction_trigger, stop_trigger] so
+        # callers tuning only the hard triggers get a coherent ladder.
+        self.l0_slowdown_writes_trigger = min(
+            max(self.l0_slowdown_writes_trigger, self.l0_compaction_trigger),
+            self.l0_stop_writes_trigger)
+        if self.max_write_group_bytes < 1:
+            raise ValueError("max_write_group_bytes must be positive")
         if self.max_open_files < 1:
             raise ValueError("max_open_files must be at least 1")
 

@@ -9,6 +9,7 @@ once per file lifetime and consulted for free afterwards.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.lsm.cache import LRUCache
@@ -38,25 +39,33 @@ class TableCache:
         self.misses = 0
         self.evictions = 0
         self._tables: OrderedDict[int, SSTable] = OrderedDict()
+        # Background compaction evicts tables while readers look them up;
+        # the OrderedDict reorder-on-hit is not safe to interleave unlocked.
+        self._lock = threading.Lock()
         self.block_cache: LRUCache | None = None
         if options.block_cache_size > 0:
             self.block_cache = LRUCache(options.block_cache_size)
 
     def get(self, file_number: int) -> SSTable:
-        table = self._tables.get(file_number)
-        if table is not None:
-            self.hits += 1
-            self._tables.move_to_end(file_number)
-            return table
-        self.misses += 1
+        with self._lock:
+            table = self._tables.get(file_number)
+            if table is not None:
+                self.hits += 1
+                self._tables.move_to_end(file_number)
+                return table
+            self.misses += 1
+        # Opening reads the footer/index/filter blocks — do the I/O outside
+        # the lock.  A racing open of the same table is harmless: both
+        # readers work, the later insert wins the cache slot.
         handle = self.vfs.open_random(table_file_name(self.db_name, file_number))
         table = SSTable(self.options, handle, file_number)
         table._block_cache = self.block_cache
-        self._tables[file_number] = table
-        while len(self._tables) > self.max_open_files:
-            _number, evicted = self._tables.popitem(last=False)
-            evicted.file.close()
-            self.evictions += 1
+        with self._lock:
+            self._tables[file_number] = table
+            while len(self._tables) > self.max_open_files:
+                _number, evicted = self._tables.popitem(last=False)
+                evicted.file.close()
+                self.evictions += 1
         return table
 
     def stats(self) -> dict[str, int]:
@@ -69,14 +78,17 @@ class TableCache:
         }
 
     def evict(self, file_number: int) -> None:
-        table = self._tables.pop(file_number, None)
+        with self._lock:
+            table = self._tables.pop(file_number, None)
         if table is not None:
             table.file.close()
 
     def close(self) -> None:
-        for table in self._tables.values():
+        with self._lock:
+            tables = list(self._tables.values())
+            self._tables.clear()
+        for table in tables:
             table.file.close()
-        self._tables.clear()
 
     def __len__(self) -> int:
         return len(self._tables)

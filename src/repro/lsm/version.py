@@ -16,6 +16,7 @@ skip a whole SSTable without touching any of its per-block structures.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -239,6 +240,18 @@ class Version:
                 out.append((level, meta))
         return out
 
+    def live_file_numbers(self) -> frozenset[int]:
+        """File numbers this version references (cached; versions are
+        immutable once installed).  Snapshot-isolated readers pin a version;
+        background compaction defers deleting any table file that a pinned
+        version still names."""
+        cached = self.__dict__.get("_live_file_numbers")
+        if cached is None:
+            cached = frozenset(meta.file_number
+                               for _level, meta in self.all_files())
+            self.__dict__["_live_file_numbers"] = cached
+        return cached
+
     # -- compaction scoring ---------------------------------------------------
 
     def compaction_score(self) -> tuple[float, int]:
@@ -263,19 +276,25 @@ class VersionSet:
         self.last_sequence = 0
         self.log_number = 0
         self.compact_pointers: list[bytes | None] = [None] * options.max_levels
+        # Foreground writers (WAL rotation) and the background compactor
+        # (table outputs) both allocate file numbers; the counter must not
+        # hand the same number out twice.
+        self._number_lock = threading.Lock()
 
     def new_file_number(self) -> int:
-        number = self.next_file_number
-        self.next_file_number += 1
-        return number
+        with self._number_lock:
+            number = self.next_file_number
+            self.next_file_number += 1
+            return number
 
     def apply(self, edit: VersionEdit) -> Version:
         """Apply ``edit`` and install the resulting version as current."""
         if edit.log_number is not None:
             self.log_number = edit.log_number
         if edit.next_file_number is not None:
-            self.next_file_number = max(self.next_file_number,
-                                        edit.next_file_number)
+            with self._number_lock:
+                self.next_file_number = max(self.next_file_number,
+                                            edit.next_file_number)
         if edit.last_sequence is not None:
             self.last_sequence = max(self.last_sequence, edit.last_sequence)
         for level, key in edit.compact_pointers:

@@ -72,6 +72,25 @@ class LogWriter:
         self._file.append(header + fragment, Category.WAL)
         self._block_offset += HEADER_SIZE + len(fragment)
 
+    def add_records(self, payloads: list[bytes]) -> None:
+        """Append several records, syncing (at most) once at the end.
+
+        This is the group-commit primitive: the write-group leader encodes
+        every queued batch, appends them back to back, and all writers in
+        the group share a single ``fsync`` instead of paying one each.  The
+        byte layout is identical to the same ``add_record`` calls made one
+        at a time.
+        """
+        sync = self._sync
+        self._sync = False
+        try:
+            for payload in payloads:
+                self.add_record(payload)
+        finally:
+            self._sync = sync
+        if sync:
+            self._file.sync()
+
     def sync(self) -> None:
         """Force written records to stable storage."""
         self._file.sync()

@@ -55,6 +55,15 @@ def cmd_stats(directory: str, name: str, out: IO[str]) -> int:
             entries = sum(meta.num_entries for meta in files)
             out.write(f"  L{level}: {len(files):3d} files  "
                       f"{size:>10,} bytes  {entries:>8,} entries\n")
+        pipeline = db.stats()["pipeline"]
+        out.write("pipeline:\n")
+        out.write(f"  background:      "
+                  f"{'on' if pipeline['background'] else 'off'}\n")
+        out.write(f"  imm pending:     {pipeline['imm_pending']}\n")
+        out.write(f"  queue depth:     "
+                  f"{pipeline['compaction_queue_depth']}\n")
+        out.write(f"  stalls:          {pipeline['stall_events']} events, "
+                  f"{pipeline['stall_seconds']:.3f}s\n")
         return 0
     finally:
         db.close()

@@ -1,0 +1,25 @@
+"""Shared setup for the concurrency suite.
+
+A hung interleaving (scheduler bug, lost wakeup, real deadlock) must not
+wedge the whole test run.  ``pytest-timeout`` is used in CI but is not a
+hard dependency; this dependency-free watchdog arms
+:func:`faulthandler.dump_traceback_later` around every test so a hang
+dumps every thread's stack and kills the process instead of blocking
+forever.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+
+import pytest
+
+#: Generous per-test ceiling; the suite's slowest test is well under 30 s.
+WATCHDOG_SECONDS = 120.0
+
+
+@pytest.fixture(autouse=True)
+def hang_watchdog():
+    faulthandler.dump_traceback_later(WATCHDOG_SECONDS, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()

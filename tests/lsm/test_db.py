@@ -425,3 +425,40 @@ class TestIntrospection:
         assert cache_stats["capacity_bytes"] == 32 * 1024
         assert cache_stats["hits"] >= 1
         db.close()
+
+    def test_pipeline_gauges_inline_mode(self):
+        db = DB.open_memory(_options())
+        for i in range(100):
+            db.put(f"k{i:05d}".encode(), b"x" * 60)
+        db.flush()
+        pipe = db.stats()["pipeline"]
+        assert pipe["background"] is False
+        assert pipe["imm_pending"] == 0  # inline flush never leaves one
+        assert pipe["compaction_queue_depth"] >= 0
+        # The writer queue, group commit and stall ladder only engage in
+        # pipeline mode; inline writes leave every counter at zero.
+        assert pipe["stall_events"] == 0
+        assert pipe["slowdown_events"] == 0
+        assert pipe["write_groups"] == 0
+        assert pipe["group_commit_batches"] == 0
+        assert pipe["max_group_batches"] == 0
+        assert pipe["bg_flushes"] == 0
+        assert pipe["bg_error"] is None
+        json.dumps(pipe)
+        db.close()
+
+    def test_pipeline_gauges_background_mode(self):
+        db = DB.open_memory(_options(background_compaction=True))
+        for i in range(300):
+            db.put(f"k{i:05d}".encode(), b"x" * 60)
+        db.flush()
+        pipe = db.stats()["pipeline"]
+        assert pipe["background"] is True
+        assert pipe["imm_pending"] == 0  # flush() drains the handoff
+        assert pipe["bg_flushes"] >= 1
+        assert pipe["group_commit_ops"] == 300
+        assert pipe["mean_group_batches"] >= 1.0
+        assert pipe["stall_seconds"] >= 0.0
+        assert pipe["bg_error"] is None
+        json.dumps(pipe)
+        db.close()

@@ -33,6 +33,11 @@ class TestStats:
         assert "last sequence:   300" in text
         assert "L0:" in text or "L1:" in text
         assert "total size:" in text
+        assert "pipeline:" in text
+        assert "background:      off" in text
+        assert "imm pending:     0" in text
+        assert "queue depth:" in text
+        assert "stalls:          0 events" in text
 
 
 class TestDump:
