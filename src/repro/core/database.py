@@ -55,11 +55,16 @@ class SecondaryIndexedDB:
     """A NoSQL store with pluggable secondary indexes (the paper's system)."""
 
     def __init__(self, primary: DB, indexes: dict[str, SecondaryIndex],
-                 checker: ValidityChecker) -> None:
+                 checker: ValidityChecker,
+                 index_specs: dict[str, tuple] | None = None) -> None:
         """Assembled by :meth:`open` / :meth:`open_memory`."""
         self.primary = primary
         self.indexes = indexes
         self.checker = checker
+        # attribute -> (kind, table_vfs, table_name, index_options) for
+        # every stand-alone index: everything needed to drop and re-create
+        # its table when corruption quarantines it (see rebuild_index).
+        self._index_specs: dict[str, tuple] = index_specs or {}
         self._needs_old_doc_on_delete = any(
             index.kind in (IndexKind.EAGER, IndexKind.LAZY,
                            IndexKind.COMPOSITE)
@@ -91,11 +96,14 @@ class SecondaryIndexedDB:
         checker = ValidityChecker(primary)
 
         built: dict[str, SecondaryIndex] = {}
+        specs: dict[str, tuple] = {}
         for attribute, kind in indexes.items():
-            built[attribute] = cls._build_index(
+            built[attribute], spec = cls._build_index(
                 attribute, kind, primary, checker, base_options,
                 vfs, name, index_vfs_factory)
-        return cls(primary, built, checker)
+            if spec is not None:
+                specs[attribute] = spec
+        return cls(primary, built, checker, index_specs=specs)
 
     @classmethod
     def open_memory(cls, indexes: Mapping[str, IndexKind] | None = None,
@@ -112,13 +120,19 @@ class SecondaryIndexedDB:
     def _build_index(cls, attribute: str, kind: IndexKind, primary: DB,
                      checker: ValidityChecker, base_options: Options,
                      vfs: VFS, name: str, index_vfs_factory
-                     ) -> SecondaryIndex:
+                     ) -> tuple[SecondaryIndex, tuple | None]:
+        """Returns ``(index, rebuild_spec)``.
+
+        The spec — ``(kind, table_vfs, table_name, index_options)`` — is
+        ``None`` for index kinds that live inside the primary table and
+        therefore have no table of their own to rebuild.
+        """
         if not isinstance(kind, IndexKind):
             raise InvalidArgumentError(f"unknown index kind: {kind!r}")
         if kind == IndexKind.EMBEDDED:
-            return EmbeddedIndex(attribute, primary, checker)
+            return EmbeddedIndex(attribute, primary, checker), None
         if kind == IndexKind.NOINDEX:
-            return NoIndex(attribute, primary)
+            return NoIndex(attribute, primary), None
         table_name = f"{name}/index-{kind.value}-{attribute}"
         table_vfs = vfs if index_vfs_factory is None \
             else index_vfs_factory(table_name)
@@ -128,12 +142,13 @@ class SecondaryIndexedDB:
                                 indexed_attributes=(),
                                 merge_operator=merge_operator)
         index_db = DB.open(table_vfs, table_name, index_options)
+        spec = (kind, table_vfs, table_name, index_options)
         if kind == IndexKind.EAGER:
-            return EagerIndex(attribute, index_db, checker)
+            return EagerIndex(attribute, index_db, checker), spec
         if kind == IndexKind.LAZY:
-            return LazyIndex(attribute, index_db, checker)
+            return LazyIndex(attribute, index_db, checker), spec
         if kind == IndexKind.COMPOSITE:
-            return CompositeIndex(attribute, index_db, checker)
+            return CompositeIndex(attribute, index_db, checker), spec
         raise InvalidArgumentError(f"unknown index kind: {kind!r}")
 
     # -- base operations (Table 1) ----------------------------------------------
@@ -265,6 +280,59 @@ class SecondaryIndexedDB:
         self.primary.compact_range()
         for index in self.indexes.values():
             index.compact()
+
+    def quarantined_indexes(self) -> list[str]:
+        """Attributes whose stand-alone index has quarantined tables.
+
+        Only meaningful under ``on_corruption="quarantine"``; the embedded
+        kind reports through the primary table instead (its structures are
+        advisory and degrade in place rather than quarantining).
+        """
+        self._check_open()
+        damaged = []
+        for attribute, index in self.indexes.items():
+            index_db = getattr(index, "index_db", None)
+            if index_db is not None and index_db.quarantined_tables():
+                damaged.append(attribute)
+        return sorted(damaged)
+
+    def rebuild_index(self, attribute: str) -> int:
+        """Rebuild ``attribute``'s stand-alone index from the primary table.
+
+        The primary record store is authoritative: a quarantined (or merely
+        suspect) index table can always be regenerated by replaying every
+        live record through the index's own write path.  The old index
+        database is discarded wholesale — bad blocks and all — and a fresh
+        one is built in its place, so the rebuilt index answers queries
+        exactly as an index that had never been corrupted.
+
+        Returns the number of records replayed.  Embedded/NOINDEX
+        attributes have nothing to rebuild and return 0.
+        """
+        self._check_open()
+        index = self._index_for(attribute)
+        spec = self._index_specs.get(attribute)
+        if spec is None:
+            return 0  # embedded or noindex: lives inside the primary table
+        _kind, table_vfs, table_name, index_options = spec
+        index.index_db.close()
+        for name in list(table_vfs.list_dir(table_name + "/")):
+            table_vfs.delete_if_exists(name)
+        index.index_db = DB.open(table_vfs, table_name, index_options)
+        replayed = 0
+        for key_bytes, value, seq in self.primary.scan_with_seq():
+            index.on_put(key_bytes, decode_document(value), seq)
+            replayed += 1
+        index.flush()
+        return replayed
+
+    def heal_indexes(self) -> dict[str, int]:
+        """Rebuild every quarantined stand-alone index; see :meth:`rebuild_index`.
+
+        Returns ``{attribute: records_replayed}`` for each index healed.
+        """
+        return {attribute: self.rebuild_index(attribute)
+                for attribute in self.quarantined_indexes()}
 
     def checkpoint(self, dest_vfs: VFS, name: str = "data") -> int:
         """Copy the primary table and every index table to ``dest_vfs``.

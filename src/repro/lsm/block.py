@@ -226,9 +226,15 @@ class Block:
             # internal_sort_key, inlined into the listcomp: one C-level
             # loop, no per-entry Python frame.
             unpack_from = _TRAILER.unpack_from
-            sort_keys = self._sort_keys = [
-                (key[:-8], -unpack_from(key, len(key) - 8)[0])
-                for key in keys]
+            try:
+                sort_keys = self._sort_keys = [
+                    (key[:-8], -unpack_from(key, len(key) - 8)[0])
+                    for key in keys]
+            except struct.error as exc:
+                # A decoded key shorter than its 8-byte trailer: garbage
+                # that slipped past a skipped CRC (paranoid_checks off).
+                raise CorruptionError(
+                    "block entry key shorter than trailer") from exc
         return sort_keys
 
     def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
@@ -366,6 +372,9 @@ class Block:
         except IndexError as exc:
             raise CorruptionError(
                 "bad block entry header: truncated varint") from exc
+        except struct.error as exc:
+            raise CorruptionError(
+                "block entry key shorter than trailer") from exc
 
     def _restart_sort_key(self, restart_index: int) -> tuple[bytes, int]:
         """Sort key of the full key stored at restart ``restart_index``."""
@@ -395,3 +404,6 @@ class Block:
         except IndexError as exc:
             raise CorruptionError(
                 "bad block restart entry: truncated varint") from exc
+        except struct.error as exc:
+            raise CorruptionError(
+                "block restart key shorter than trailer") from exc

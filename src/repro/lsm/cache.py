@@ -66,6 +66,32 @@ class LRUCache:
             _evicted_key, (_value, evicted_size) = self._entries.popitem(last=False)
             self._used -= evicted_size
 
+    def evict(self, key: Hashable) -> bool:
+        """Drop ``key`` if cached (a poisoned or stale entry); True if it was.
+
+        A block whose re-read failed CRC must never be served from cache
+        again — not even after the underlying file heals — so corruption
+        handling evicts eagerly rather than waiting for LRU pressure.
+        """
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._used -= entry[1]
+        return True
+
+    def evict_file(self, file_number: int) -> int:
+        """Drop every cached block of one table file; returns the count.
+
+        Block-cache keys are ``(file_number, block_offset)`` tuples; used
+        when a whole table is quarantined so none of its blocks — possibly
+        decoded from rotten bytes before detection — survive in cache.
+        """
+        stale = [key for key in self._entries
+                 if isinstance(key, tuple) and key and key[0] == file_number]
+        for key in stale:
+            self._used -= self._entries.pop(key)[1]
+        return len(stale)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -112,6 +138,14 @@ class BufferCacheSimulator(VFS):
         stale = [key for key in self._pages if key[0] == name]
         for key in stale:
             del self._pages[key]
+
+    def invalidate_file(self, name: str) -> None:
+        """Drop every resident page of ``name`` (corruption containment).
+
+        When a table is quarantined its pages may hold rotten bytes; a
+        later re-read must go to the device, not be served "from RAM".
+        """
+        self._drop_file(name)
 
     def _access(self, name: str, offset: int, length: int,
                 category: Category, populate_only: bool) -> int:

@@ -33,6 +33,7 @@ holding the mutex.
 
 from __future__ import annotations
 
+import errno
 import heapq
 import logging
 import threading
@@ -43,7 +44,12 @@ from operator import itemgetter
 from typing import Any, Callable, Iterator
 
 from repro.lsm.compaction import Compaction, Compactor, pick_compaction
-from repro.lsm.errors import DBClosedError, InvalidArgumentError
+from repro.lsm.errors import (
+    CorruptionError,
+    DBClosedError,
+    InvalidArgumentError,
+    ReadOnlyError,
+)
 from repro.lsm.iterator import merge_streams
 from repro.lsm.keys import (
     KIND_DELETE,
@@ -63,6 +69,7 @@ from repro.lsm.manifest import (
     current_tmp_file_name,
     log_file_name,
     recover_version_set,
+    table_file_name,
 )
 from repro.lsm.memtable import MemTable
 from repro.lsm.options import Options
@@ -198,6 +205,19 @@ class _ReadState:
 
 
 @dataclass
+class CorruptionStats:
+    """Containment counters (``DB.stats()["corruption"]``).
+
+    Every contained :class:`~repro.lsm.errors.CorruptionError` is counted:
+    quarantine must leave an auditable trail, never silently narrow
+    results.
+    """
+
+    events: int = 0              # contained corruption errors
+    tables_quarantined: int = 0  # cumulative quarantine decisions
+
+
+@dataclass
 class PipelineStats:
     """Gauges for the background write pipeline (``DB.stats()["pipeline"]``)."""
 
@@ -229,6 +249,12 @@ class DB:
         self._closed = False
         self._snapshots: list[Snapshot] = []
         self._flush_listeners: list[FlushListener] = []
+        # -- corruption containment (see DESIGN.md §9) ----------------------
+        self._quarantined: set[int] = set()  # table files served around
+        self.corruption_stats = CorruptionStats()
+        self._read_only = False          # ENOSPC flipped the DB read-only
+        self._read_only_reason: str | None = None
+        self._scrubber = None            # lazily created by DB.scrub()
         # -- background pipeline state (all guarded by _mutex) --------------
         self._bg = bool(options.background_compaction)
         self._mutex = threading.RLock()
@@ -392,8 +418,16 @@ class DB:
         if self._log is not None:
             # A clean shutdown must not lose acknowledged writes even with
             # sync_writes off: push the WAL tail to stable storage first.
-            self._log.sync()
-            self._log.close()
+            # In read-only mode the WAL writer may be mid-rotation (or the
+            # disk still full); acknowledged records were already appended,
+            # so a failing final sync must not abort the close.
+            try:
+                self._log.sync()
+                self._log.close()
+            except (OSError, ValueError) as exc:
+                if not self._read_only:
+                    raise
+                logger.warning("read-only close: WAL sync skipped (%s)", exc)
         if self._manifest is not None:
             self._manifest.close()
         self.table_cache.close()
@@ -456,6 +490,128 @@ class DB:
         if self._bg_error is not None:
             raise self._bg_error
 
+    # -- corruption containment -------------------------------------------------
+
+    @property
+    def read_only(self) -> bool:
+        """True once a write-path ENOSPC parked the DB in read-only mode."""
+        return self._read_only
+
+    def is_quarantined(self, file_number: int) -> bool:
+        return file_number in self._quarantined
+
+    def quarantined_tables(self) -> list[int]:
+        """File numbers of quarantined tables, sorted."""
+        with self._mutex:
+            return sorted(self._quarantined)
+
+    def _quarantine_table(self, file_number: int, exc: BaseException) -> None:
+        """Serve around ``file_number`` from now on; purge it from caches.
+
+        The table stays on disk (repair may salvage most of it); reads
+        simply stop consulting it.  Every cache that may hold its bytes —
+        the open-reader table cache, the decompressed-block cache, and the
+        OS-page-cache model — is purged so nothing decoded from rotten
+        bytes outlives the quarantine decision.
+        """
+        with self._mutex:
+            if file_number in self._quarantined:
+                return
+            self._quarantined.add(file_number)
+            self.corruption_stats.tables_quarantined += 1
+        self.table_cache.evict(file_number)
+        block_cache = self.table_cache.block_cache
+        if block_cache is not None:
+            block_cache.evict_file(file_number)
+        invalidate = getattr(self.vfs, "invalidate_file", None)
+        if invalidate is not None:
+            invalidate(table_file_name(self.name, file_number))
+        logger.warning("quarantined corrupt table %06d: %s", file_number, exc)
+
+    def _contain_or_raise(self, file_number: int, exc: CorruptionError) -> None:
+        """Apply ``options.on_corruption`` to a failed table read."""
+        if self.options.on_corruption != "quarantine":
+            raise exc
+        self.corruption_stats.events += 1
+        self._quarantine_table(file_number, exc)
+
+    def _safe_table(self, file_number: int):
+        """Table reader for ``file_number``, or ``None`` when contained.
+
+        Only used on the quarantine-policy read paths: a quarantined table
+        reads as absent, and a table whose *open* fails (bad footer/index)
+        is quarantined whole on the spot.
+        """
+        if file_number in self._quarantined:
+            return None
+        try:
+            return self.table_cache.get(file_number)
+        except CorruptionError as exc:
+            self._contain_or_raise(file_number, exc)
+            return None
+
+    def _guarded_sorted_entries(self, file_number: int,
+                                start_key: bytes | None, category: Category
+                                ) -> Iterator[tuple[tuple[bytes, int], bytes]]:
+        """A table's scan stream under the quarantine policy.
+
+        Block decode errors end the stream (later blocks of the table are
+        unreachable once it is quarantined) instead of killing the whole
+        scan; entries from blocks that decoded cleanly have already been
+        served and stay valid.
+        """
+        table = self._safe_table(file_number)
+        if table is None:
+            return
+        stream = table.sorted_entries(start_key, category)
+        while True:
+            try:
+                item = next(stream)
+            except StopIteration:
+                return
+            except CorruptionError as exc:
+                self._contain_or_raise(file_number, exc)
+                return
+            yield item
+
+    def _is_enospc(self, exc: BaseException) -> bool:
+        return getattr(exc, "errno", None) == errno.ENOSPC
+
+    def _enter_read_only_locked(self, exc: BaseException) -> None:
+        """Flip into clean read-only mode after a write-path ENOSPC.
+
+        Mutex held.  Reads keep working against everything already
+        acknowledged (MemTables included); every later mutation raises
+        :class:`~repro.lsm.errors.ReadOnlyError`; the background pipeline
+        parks (no crash-loop of doomed flush retries) but its thread stays
+        alive so ``close()`` remains orderly.
+        """
+        if not self._read_only:
+            self._read_only = True
+            self._read_only_reason = f"{type(exc).__name__}: {exc}"
+            logger.warning("entering read-only mode: %s", exc)
+        self._stall_cv.notify_all()
+        self._work_cv.notify_all()
+
+    def _check_writable(self) -> None:
+        if self._read_only:
+            raise ReadOnlyError(
+                f"database is read-only ({self._read_only_reason})")
+
+    def scrub(self, block_budget: int | None = None):
+        """Run (or resume) the CRC scrubber; see :mod:`repro.lsm.scrub`.
+
+        The scrubber object persists across calls, so repeated budgeted
+        invocations walk the whole database incrementally — usable inline
+        or from a background maintenance loop.
+        """
+        self._check_open()
+        if self._scrubber is None:
+            from repro.lsm.scrub import Scrubber
+
+            self._scrubber = Scrubber(self)
+        return self._scrubber.run(block_budget)
+
     # -- writes -----------------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:
@@ -486,6 +642,7 @@ class DB:
         if self._bg:
             return self._write_concurrent(batch)
         self._check_open()
+        self._check_writable()
         if not batch.ops:
             return self.versions.last_sequence
         if self.versions.current.num_files(0) >= \
@@ -505,7 +662,16 @@ class DB:
         else:
             start_seq = self.versions.last_sequence + 1
         assert self._log is not None
-        self._log.add_record(batch.encode(start_seq))
+        try:
+            self._log.add_record(batch.encode(start_seq))
+        except OSError as exc:
+            # ENOSPC before any MemTable insert: the batch is not acked and
+            # nothing is half-applied.  Park the DB read-only; the caller
+            # sees the original error, later writes see ReadOnlyError.
+            if self._is_enospc(exc):
+                with self._mutex:
+                    self._enter_read_only_locked(exc)
+            raise
         for offset, (kind, key, value) in enumerate(batch.ops):
             self.memtable.add(start_seq + offset, kind, key, value)
         self.versions.last_sequence = start_seq + len(batch.ops) - 1
@@ -540,6 +706,7 @@ class DB:
         writer = _Writer(batch)
         with self._mutex:
             self._raise_if_bg_failed()
+            self._check_writable()
             self._writers.append(writer)
             self._await_locked(
                 self._stall_cv,
@@ -602,6 +769,11 @@ class DB:
             if error is None:
                 self.versions.last_sequence = max(
                     self.versions.last_sequence, start_seq + total_ops - 1)
+            elif self._is_enospc(error):
+                # Disk full during the group's WAL append: nothing in the
+                # group was acknowledged.  Park read-only so queued writers
+                # fail fast instead of each rediscovering the full disk.
+                self._enter_read_only_locked(error)
             stats = self.pipeline_stats
             stats.write_groups += 1
             stats.group_commit_batches += len(group)
@@ -642,6 +814,7 @@ class DB:
         stats = self.pipeline_stats
         while True:
             self._raise_if_bg_failed()
+            self._check_writable()
             l0_files = self.versions.current.num_files(0)
             if l0_files >= options.l0_stop_writes_trigger \
                     and options.disable_auto_compaction:
@@ -673,7 +846,8 @@ class DB:
                 stats.stall_events += 1
                 self._await_locked(
                     self._stall_cv,
-                    lambda: self.imm is None or self._bg_error is not None,
+                    lambda: self.imm is None or self._bg_error is not None
+                    or self._read_only,
                     "stall:memtable")
                 stats.stall_seconds += time.perf_counter() - started
                 continue
@@ -684,7 +858,8 @@ class DB:
                     self._stall_cv,
                     lambda: (self.versions.current.num_files(0)
                              < options.l0_stop_writes_trigger
-                             or self._bg_error is not None),
+                             or self._bg_error is not None
+                             or self._read_only),
                     "stall:stop")
                 stats.stall_seconds += time.perf_counter() - started
                 continue
@@ -719,7 +894,14 @@ class DB:
 
     def _background_work_ready(self) -> bool:
         # Mutex held (predicate of _await_locked).
-        if self._bg_stop or self.imm is not None:
+        if self._bg_stop:
+            return True
+        if self._read_only:
+            # Read-only (disk full): every flush/compaction is doomed, so
+            # park instead of crash-looping.  The thread stays alive for an
+            # orderly close(); _bg_stop above still wakes it.
+            return False
+        if self.imm is not None:
             return True
         if self._manual_compaction or self.options.disable_auto_compaction:
             return False
@@ -750,11 +932,31 @@ class DB:
                             self._bg_compacting = True
                 if imm is not None:
                     self._step("bg:flush")
-                    self._background_flush(imm)
+                    try:
+                        self._background_flush(imm)
+                    except OSError as exc:
+                        if not self._is_enospc(exc):
+                            raise
+                        # Disk full mid-flush: the version edit was not
+                        # installed and the imm's WAL is still on disk, so
+                        # nothing acknowledged is lost.  Park read-only
+                        # (imm stays readable in memory) instead of dying
+                        # into a sticky background error.
+                        with self._mutex:
+                            self._enter_read_only_locked(exc)
                 elif compaction is not None:
                     self._step("bg:compact")
                     try:
-                        self.compactor.run(compaction)
+                        try:
+                            self.compactor.run(compaction)
+                        except OSError as exc:
+                            if not self._is_enospc(exc):
+                                raise
+                            # A failed compaction installed nothing; inputs
+                            # remain live.  Reads are unaffected — just stop
+                            # generating doomed write traffic.
+                            with self._mutex:
+                                self._enter_read_only_locked(exc)
                     finally:
                         with self._mutex:
                             self._bg_compacting = False
@@ -866,8 +1068,23 @@ class DB:
             self._flush_concurrent()
             return
         self._check_open()
+        self._check_writable()
         if self.memtable.is_empty():
             return
+        try:
+            self._flush_inline()
+        except OSError as exc:
+            # A full disk mid-flush is survivable: the version edit was not
+            # installed, the MemTable was not reset and the old WAL is still
+            # on disk, so every acknowledged write remains readable (and
+            # replayable on reopen).  Park read-only rather than letting
+            # callers retry a doomed flush forever.
+            if self._is_enospc(exc):
+                with self._mutex:
+                    self._enter_read_only_locked(exc)
+            raise
+
+    def _flush_inline(self) -> None:
         flushed_max_seq = self.memtable.max_seq or 0
         old_log_number = self._log_number
         assert self._log is not None
@@ -902,6 +1119,7 @@ class DB:
         sentinel = _Writer(None)
         with self._mutex:
             self._raise_if_bg_failed()
+            self._check_writable()
             self._writers.append(sentinel)
             self._await_locked(
                 self._stall_cv,
@@ -911,9 +1129,11 @@ class DB:
                 if not self.memtable.is_empty():
                     self._await_locked(
                         self._stall_cv,
-                        lambda: self.imm is None or self._bg_error is not None,
+                        lambda: self.imm is None or self._bg_error is not None
+                        or self._read_only,
                         "flush:room")
                     self._raise_if_bg_failed()
+                    self._check_writable()
                     self._rotate_memtable_locked()
             finally:
                 popped = self._writers.popleft()
@@ -921,9 +1141,15 @@ class DB:
                 self._stall_cv.notify_all()
             self._await_locked(
                 self._stall_cv,
-                lambda: self.imm is None or self._bg_error is not None,
+                lambda: self.imm is None or self._bg_error is not None
+                or self._read_only,
                 "flush:drain")
             self._raise_if_bg_failed()
+            if self.imm is not None:
+                # Read-only parked the background thread with the immutable
+                # MemTable undrained; its data is still fully readable (and
+                # still in its WAL), but this flush cannot complete.
+                self._check_writable()
 
     def _log_and_apply(self, edit: VersionEdit) -> None:
         # The mutex serializes a foreground manual compaction against the
@@ -1062,6 +1288,9 @@ class DB:
         for memtable in memtables:
             for entry in memtable.versions(key, max_seq):
                 yield entry.kind, entry.seq, entry.value
+        if self.options.on_corruption == "quarantine":
+            yield from self._table_versions_contained(key, max_seq, version)
+            return
         table_cache_get = self.table_cache.get
         # Level 0 files may each hold versions; interleave them by seq.
         l0_entries: list[tuple[int, int, bytes]] = []
@@ -1075,6 +1304,39 @@ class DB:
             for meta in version.files_containing_key(level, key):
                 table = table_cache_get(meta.file_number)
                 yield from table.versions_raw(key, max_seq)
+
+    def _table_versions_contained(self, key: bytes, max_seq: int, version
+                                  ) -> Iterator[tuple[int, int, bytes]]:
+        """Quarantine-policy twin of the SSTable half of :meth:`_versions_of`.
+
+        A quarantined table contributes nothing; a table that fails *while*
+        being read is quarantined on the spot and its partial result
+        discarded (cleanly decoded versions from other tables still serve).
+        """
+        l0_entries: list[tuple[int, int, bytes]] = []
+        for meta in version.files_containing_key(0, key):
+            table = self._safe_table(meta.file_number)
+            if table is None:
+                continue
+            try:
+                l0_entries.extend(table.versions_raw(key, max_seq))
+            except CorruptionError as exc:
+                self._contain_or_raise(meta.file_number, exc)
+        if l0_entries:
+            l0_entries.sort(key=lambda item: -item[1])
+            yield from l0_entries
+        for level in range(1, self.options.max_levels):
+            for meta in version.files_containing_key(level, key):
+                table = self._safe_table(meta.file_number)
+                if table is None:
+                    continue
+                try:
+                    # Materialized so a decode error cannot fire mid-yield.
+                    found = list(table.versions_raw(key, max_seq))
+                except CorruptionError as exc:
+                    self._contain_or_raise(meta.file_number, exc)
+                    continue
+                yield from found
 
     # -- LevelDB++ probes -------------------------------------------------------
 
@@ -1115,9 +1377,20 @@ class DB:
         if mem:
             mem.sort(key=lambda item: -item[1])
             out.append((-1, mem))
+        contain = self.options.on_corruption == "quarantine"
         for level in range(self.options.max_levels):
             found: list[tuple[int, int, bytes]] = []
             for meta in version.files_containing_key(level, key):
+                if contain:
+                    table = self._safe_table(meta.file_number)
+                    if table is None:
+                        continue
+                    try:
+                        found.extend(table.versions_raw(key, max_seq,
+                                                        Category.INDEX))
+                    except CorruptionError as exc:
+                        self._contain_or_raise(meta.file_number, exc)
+                    continue
                 table = self.table_cache.get(meta.file_number)
                 found.extend(table.versions_raw(key, max_seq,
                                                 Category.INDEX))
@@ -1150,8 +1423,20 @@ class DB:
                 for memtable in memtables:
                     if memtable.get(key) is not None:
                         return True
+            contain = self.options.on_corruption == "quarantine"
             for level in range(min(below_level, self.options.max_levels)):
                 for meta in version.files_containing_key(level, key):
+                    if contain:
+                        # Conservative: a quarantined (or unopenable) table
+                        # *may* hold a newer version we can no longer prove
+                        # absent, so GetLite must treat the row as stale —
+                        # missing-but-detected, never a silently wrong value.
+                        table = self._safe_table(meta.file_number)
+                        if table is None:
+                            return True
+                        if table.may_contain_user_key(key):
+                            return True
+                        continue
                     table = self.table_cache.get(meta.file_number)
                     if table.may_contain_user_key(key):
                         return True
@@ -1211,17 +1496,26 @@ class DB:
                 streams.append(self._memtable_sorted(lo, state.imm))
             version = state.version
         table_cache_get = self.table_cache.get
+        contain = self.options.on_corruption == "quarantine"
         # Level-0 files overlap: one heap stream each.  Deeper levels are
         # disjoint and sorted, so a whole level concatenates into a single
         # stream (LevelDB's concatenating iterator) — the heap holds one
         # entry per *level*, not per file, keeping each sift logarithmic in
         # the number of components rather than the number of files.
         for meta in version.overlapping_files(0, lo, hi):
-            streams.append(table_cache_get(meta.file_number)
-                           .sorted_entries(start_key, category))
+            if contain:
+                streams.append(self._guarded_sorted_entries(
+                    meta.file_number, start_key, category))
+            else:
+                streams.append(table_cache_get(meta.file_number)
+                               .sorted_entries(start_key, category))
         for level in range(1, self.options.max_levels):
             files = version.overlapping_files(level, lo, hi)
-            if len(files) == 1:
+            if contain:
+                if files:
+                    streams.append(self._sorted_level_stream(
+                        files, start_key, category))
+            elif len(files) == 1:
                 streams.append(table_cache_get(files[0].file_number)
                                .sorted_entries(start_key, category))
             elif files:
@@ -1294,6 +1588,11 @@ class DB:
                              category: Category
                              ) -> Iterator[tuple[tuple[bytes, int], bytes]]:
         """Concatenated ``(sort_key, value)`` stream over one disjoint level."""
+        if self.options.on_corruption == "quarantine":
+            for meta in files:
+                yield from self._guarded_sorted_entries(
+                    meta.file_number, start_key, category)
+            return
         table_cache_get = self.table_cache.get
         for meta in files:
             yield from table_cache_get(meta.file_number) \
@@ -1368,12 +1667,19 @@ class DB:
                 version = self.versions.current if state is None \
                     else state.version
                 files = version.overlapping_files(level, lo, hi)
+                contain = self.options.on_corruption == "quarantine"
                 if level == 0:
-                    stream = merge_streams([
-                        self._table_stream_from(
-                            self.table_cache.get(meta.file_number), lo,
-                            category)
-                        for meta in files])
+                    if contain:
+                        stream = merge_streams([
+                            self._guarded_table_stream(meta.file_number, lo,
+                                                       category)
+                            for meta in files])
+                    else:
+                        stream = merge_streams([
+                            self._table_stream_from(
+                                self.table_cache.get(meta.file_number), lo,
+                                category)
+                            for meta in files])
                 else:
                     stream = self._concat_tables(files, lo, category)
             for ikey, value in stream:
@@ -1388,9 +1694,32 @@ class DB:
 
     def _concat_tables(self, files, lo: bytes | None, category: Category
                        ) -> Iterator[tuple[InternalKey, bytes]]:
+        if self.options.on_corruption == "quarantine":
+            for meta in files:
+                yield from self._guarded_table_stream(meta.file_number, lo,
+                                                      category)
+            return
         for meta in files:
             table = self.table_cache.get(meta.file_number)
             yield from self._table_stream_from(table, lo, category)
+
+    def _guarded_table_stream(self, file_number: int, lo: bytes | None,
+                              category: Category
+                              ) -> Iterator[tuple[InternalKey, bytes]]:
+        """Quarantine-policy ``(InternalKey, value)`` stream of one table."""
+        table = self._safe_table(file_number)
+        if table is None:
+            return
+        stream = self._table_stream_from(table, lo, category)
+        while True:
+            try:
+                item = next(stream)
+            except StopIteration:
+                return
+            except CorruptionError as exc:
+                self._contain_or_raise(file_number, exc)
+                return
+            yield item
 
     # -- snapshots ----------------------------------------------------------------
 
@@ -1427,6 +1756,7 @@ class DB:
         never install conflicting edits over the same input files.
         """
         self._check_open()
+        self._check_writable()
         self.flush()
         if self._bg:
             with self._mutex:
@@ -1571,6 +1901,14 @@ class DB:
                 "write_bytes": io.write_bytes,
             },
             "pipeline": self._pipeline_stats_dict(),
+            "corruption": {
+                "events": self.corruption_stats.events,
+                "tables_quarantined": self.corruption_stats.tables_quarantined,
+                "quarantined": self.quarantined_tables(),
+                "filter_degradations": self.table_cache.filter_degradations,
+                "read_only": self._read_only,
+                "read_only_reason": self._read_only_reason,
+            },
         }
 
     def _pipeline_stats_dict(self) -> dict[str, Any]:

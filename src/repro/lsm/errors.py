@@ -6,6 +6,8 @@ derive from :class:`LSMError` so callers can catch storage failures with a
 single ``except`` clause.
 """
 
+import errno as _errno
+
 
 class LSMError(Exception):
     """Base class for every error raised by the storage engine."""
@@ -55,6 +57,29 @@ class FaultInjectedError(LSMError, IOError):
     ``EIO`` a real disk would return.  Subclasses :class:`IOError` so code
     written against the OS error taxonomy behaves identically under test.
     """
+
+
+class ReadFaultError(FaultInjectedError):
+    """A read failed because the fault-injection harness said so.
+
+    Models a *transient* ``EIO`` from the device (a retryable media error),
+    as opposed to :class:`CorruptionError`, which means the bytes came back
+    but failed their integrity check.  The read path retries these with
+    bounded backoff (``Options.read_retries``) before giving up.
+    """
+
+
+class OutOfSpaceError(FaultInjectedError):
+    """A write failed because the simulated device is full (``ENOSPC``).
+
+    Unlike a crash, the machine is still up and all existing data is
+    readable; the engine responds by parking background maintenance and
+    flipping the database into read-only mode rather than crash-looping.
+    """
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self.errno = _errno.ENOSPC
 
 
 class SimulatedCrashError(FaultInjectedError):

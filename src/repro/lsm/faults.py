@@ -23,6 +23,23 @@ first-class, deterministic test input:
   Metadata operations (create/delete/rename) model a journaling filesystem:
   they are durable as soon as they are applied.
 
+* **Read faults and bit rot** — reads get the same treatment writes got in
+  PR 1.  :meth:`~FaultInjectingVFS.schedule_read_error` makes the *N*-th
+  read operation (``open_random`` or ``read_at``) raise a transient
+  :class:`~repro.lsm.errors.ReadFaultError` (``EIO``); the engine is
+  expected to retry.  :meth:`~FaultInjectingVFS.flip_bit` and
+  :meth:`~FaultInjectingVFS.garble` silently damage stored bytes (flipping
+  the same bit twice heals it — handy for cache-poisoning drills), while
+  :meth:`~FaultInjectingVFS.corrupt_reads` corrupts data *in flight* for
+  the next reads matching a file-name substring and/or I/O
+  :class:`~repro.lsm.vfs.Category`, leaving the stored bytes intact.
+
+* **Disk-full** — :meth:`~FaultInjectingVFS.schedule_enospc` makes every
+  space-consuming operation (create/append/sync) from mutating op *N*
+  onward fail with :class:`~repro.lsm.errors.OutOfSpaceError`, while
+  deletes, renames and reads keep working — the classic full-disk regime a
+  database must degrade into read-only mode under, not crash-loop.
+
 * **Crash-point enumeration** — :func:`count_mutations` runs a workload
   once to learn its deterministic operation schedule; iterating
   :func:`crash_points` and calling :func:`run_until_crash` then replays the
@@ -41,6 +58,8 @@ from typing import Callable
 from repro.lsm.errors import (
     FaultInjectedError,
     NotFoundError,
+    OutOfSpaceError,
+    ReadFaultError,
     SimulatedCrashError,
 )
 from repro.lsm.vfs import (
@@ -55,7 +74,58 @@ from repro.lsm.vfs import (
 #: Modes for what happens to un-synced appended bytes at a crash.
 UNSYNCED_MODES = ("drop", "torn", "keep")
 
+#: Mutating operations that consume device space; the ones ENOSPC fails.
+#: Deletes and renames only touch metadata and still succeed on a full disk.
+_SPACE_CONSUMING = frozenset({"create", "append", "sync"})
+
+#: In-flight read corruption flavours.
+CORRUPT_MODES = ("bitflip", "garble")
+
 Workload = Callable[[VFS], None]
+
+
+def _garble_pattern(length: int, seed: int = 0) -> bytes:
+    """Deterministic junk bytes (an LCG) — reproducible page garbling."""
+    state = (seed * 2654435761 + 97) & 0xFFFFFFFF
+    out = bytearray(length)
+    for i in range(length):
+        state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+        out[i] = (state >> 16) & 0xFF
+    return bytes(out)
+
+
+class _ReadCorruption:
+    """One armed in-flight corruption rule (see ``corrupt_reads``)."""
+
+    __slots__ = ("count", "name_substring", "category", "mode")
+
+    def __init__(self, count: int, name_substring: str | None,
+                 category: Category | None, mode: str) -> None:
+        self.count = count
+        self.name_substring = name_substring
+        self.category = category
+        self.mode = mode
+
+    def matches(self, name: str, category: Category) -> bool:
+        if self.count <= 0:
+            return False
+        if self.name_substring is not None \
+                and self.name_substring not in name:
+            return False
+        if self.category is not None and category is not self.category:
+            return False
+        return True
+
+    def apply(self, data: bytes) -> bytes:
+        if not data:
+            return data
+        if self.mode == "garble":
+            return _garble_pattern(len(data), seed=len(data))
+        # Single-bit flip in the middle of the returned slice: the smallest
+        # possible silent damage, exactly what block CRCs exist to catch.
+        damaged = bytearray(data)
+        damaged[len(damaged) // 2] ^= 0x01
+        return bytes(damaged)
 
 
 class _FaultedFile:
@@ -96,6 +166,11 @@ class FaultInjectingVFS(VFS):
         self.crashed = False
         self._fail_at: int | None = None
         self._fail_mode = "crash"
+        self.read_op_count = 0
+        self._read_fail_at: int | None = None
+        self._read_fail_count = 0
+        self._enospc_at: int | None = None
+        self._read_corruptions: list[_ReadCorruption] = []
 
     # -- fault scheduling ----------------------------------------------------
 
@@ -113,7 +188,93 @@ class FaultInjectingVFS(VFS):
         self._fail_at = at_op
         self._fail_mode = "error"
 
-    def _mutate(self) -> None:
+    def schedule_read_error(self, at_read: int, count: int = 1) -> None:
+        """Fail ``count`` read operations starting at read op ``at_read``.
+
+        Read operations (``open_random`` and ``read_at``) are counted
+        separately from mutating ops in ``read_op_count``.  Failures raise
+        :class:`~repro.lsm.errors.ReadFaultError` — a *transient* ``EIO``:
+        retrying the read is a new read op, so after ``count`` failures the
+        same read succeeds.  Models the retryable media errors the engine's
+        bounded read-retry loop exists for.
+        """
+        if at_read < 1:
+            raise ValueError("at_read is 1-based")
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self._read_fail_at = at_read
+        self._read_fail_count = count
+
+    def schedule_enospc(self, at_op: int = 1) -> None:
+        """Run out of disk space at mutating operation ``at_op`` (1-based).
+
+        From that op onward every space-consuming operation (create, append,
+        sync) raises :class:`~repro.lsm.errors.OutOfSpaceError`; deletes,
+        renames and all reads keep working.  Persistent until
+        :meth:`clear_enospc` — a full disk stays full.
+        """
+        if at_op < 1:
+            raise ValueError("at_op is 1-based")
+        self._enospc_at = at_op
+
+    def clear_enospc(self) -> None:
+        """Free up space: space-consuming operations succeed again."""
+        self._enospc_at = None
+
+    # -- stored-byte damage (bit rot) ----------------------------------------
+
+    def flip_bit(self, name: str, byte_offset: int, bit: int = 0) -> None:
+        """Silently flip one stored bit of ``name`` (XOR — flipping the same
+        bit again heals the file, which cache-poisoning drills rely on)."""
+        if name not in self._files:
+            raise NotFoundError(f"no such file: {name}")
+        data = self._files[name].data
+        if not 0 <= byte_offset < len(data):
+            raise ValueError(
+                f"byte_offset {byte_offset} outside {name} "
+                f"({len(data)} bytes)")
+        if not 0 <= bit < 8:
+            raise ValueError("bit must be in [0, 8)")
+        data[byte_offset] ^= 1 << bit
+
+    def garble(self, name: str, offset: int = 0,
+               length: int = DEVICE_BLOCK_SIZE) -> bytes:
+        """Overwrite a stored byte range with deterministic junk (a whole
+        device page by default).  Returns the original bytes so a drill can
+        restore them."""
+        if name not in self._files:
+            raise NotFoundError(f"no such file: {name}")
+        data = self._files[name].data
+        if not 0 <= offset < len(data):
+            raise ValueError(
+                f"offset {offset} outside {name} ({len(data)} bytes)")
+        end = min(offset + length, len(data))
+        original = bytes(data[offset:end])
+        data[offset:end] = _garble_pattern(end - offset, seed=offset)
+        return original
+
+    def corrupt_reads(self, count: int = 1, *,
+                      name_substring: str | None = None,
+                      category: Category | None = None,
+                      mode: str = "bitflip") -> None:
+        """Corrupt the next ``count`` reads matching the given target, in
+        flight: the stored bytes stay intact, only the returned copy is
+        damaged (a flaky controller / cable, not bit rot).
+
+        ``name_substring`` matches against the file name; ``category``
+        against the read's I/O :class:`~repro.lsm.vfs.Category` (DATA,
+        INDEX, FILTER, WAL, MANIFEST, ...).  Both ``None`` means every
+        read matches.  ``mode`` is ``"bitflip"`` (single-bit) or
+        ``"garble"`` (whole-slice junk).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if mode not in CORRUPT_MODES:
+            raise ValueError(f"mode must be one of {CORRUPT_MODES}")
+        self._read_corruptions.append(
+            _ReadCorruption(count, name_substring, category, mode))
+
+    def _mutate(self, kind: str = "write") -> None:
         """Gate every mutating operation: count it, maybe fault, maybe crash."""
         if self.crashed:
             raise SimulatedCrashError("filesystem is down (simulated crash)")
@@ -126,10 +287,38 @@ class FaultInjectingVFS(VFS):
                     f"simulated crash at mutating op {self.op_count}")
             raise FaultInjectedError(
                 f"injected write failure at mutating op {self.op_count}")
+        if self._enospc_at is not None and self.op_count >= self._enospc_at \
+                and kind in _SPACE_CONSUMING:
+            raise OutOfSpaceError(
+                f"simulated ENOSPC at mutating op {self.op_count} ({kind})")
 
     def _check_up(self) -> None:
         if self.crashed:
             raise SimulatedCrashError("filesystem is down (simulated crash)")
+
+    def _read_op(self) -> None:
+        """Gate every read operation: count it, maybe raise transient EIO."""
+        self._check_up()
+        self.read_op_count += 1
+        if self._read_fail_at is not None:
+            end = self._read_fail_at + self._read_fail_count
+            if self._read_fail_at <= self.read_op_count < end:
+                raise ReadFaultError(
+                    f"injected read failure at read op {self.read_op_count}")
+            if self.read_op_count >= end:
+                self._read_fail_at = None
+
+    def _maybe_corrupt(self, name: str, category: Category,
+                       data: bytes) -> bytes:
+        if not self._read_corruptions:
+            return data
+        for rule in self._read_corruptions:
+            if rule.matches(name, category):
+                rule.count -= 1
+                if rule.count <= 0:
+                    self._read_corruptions.remove(rule)
+                return rule.apply(data)
+        return data
 
     # -- crash imaging -------------------------------------------------------
 
@@ -154,6 +343,10 @@ class FaultInjectingVFS(VFS):
             file.durable = len(file.data)
         self.crashed = False
         self._fail_at = None
+        # Transient read faults (in-flight EIO / controller corruption) do
+        # not survive a reboot; stored bit rot and a full disk do.
+        self._read_fail_at = None
+        self._read_corruptions.clear()
 
     def durable_size(self, name: str) -> int:
         """Bytes of ``name`` guaranteed to survive a crash right now."""
@@ -164,16 +357,16 @@ class FaultInjectingVFS(VFS):
     # -- VFS interface -------------------------------------------------------
 
     def create(self, name: str) -> WritableFile:
-        self._mutate()
+        self._mutate("create")
         file = _FaultedFile()
         self._files[name] = file
         return _FaultedWritable(self, name, file)
 
     def open_random(self, name: str) -> RandomAccessFile:
-        self._check_up()
+        self._read_op()
         if name not in self._files:
             raise NotFoundError(f"no such file: {name}")
-        return _FaultedRandomAccess(self, self._files[name])
+        return _FaultedRandomAccess(self, name, self._files[name])
 
     def exists(self, name: str) -> bool:
         self._check_up()
@@ -183,14 +376,14 @@ class FaultInjectingVFS(VFS):
         self._check_up()
         if name not in self._files:
             raise NotFoundError(f"no such file: {name}")
-        self._mutate()
+        self._mutate("delete")
         del self._files[name]
 
     def rename(self, old: str, new: str) -> None:
         self._check_up()
         if old not in self._files:
             raise NotFoundError(f"no such file: {old}")
-        self._mutate()
+        self._mutate("rename")
         self._files[new] = self._files.pop(old)
 
     def list_dir(self, prefix: str = "") -> list[str]:
@@ -215,7 +408,7 @@ class _FaultedWritable(WritableFile):
     def append(self, data: bytes, category: Category = Category.OTHER) -> None:
         if self._closed:
             raise ValueError(f"file already closed: {self._name}")
-        self._vfs._mutate()
+        self._vfs._mutate("append")
         self._file.data.extend(data)
         self._vfs.stats.record_write(len(data), category)
 
@@ -223,7 +416,7 @@ class _FaultedWritable(WritableFile):
         return None  # library-buffer flush: no device visibility
 
     def sync(self) -> None:
-        self._vfs._mutate()
+        self._vfs._mutate("sync")
         self._file.durable = len(self._file.data)
 
     def close(self) -> None:
@@ -237,15 +430,18 @@ class _FaultedWritable(WritableFile):
 
 
 class _FaultedRandomAccess(RandomAccessFile):
-    def __init__(self, vfs: FaultInjectingVFS, file: _FaultedFile) -> None:
+    def __init__(self, vfs: FaultInjectingVFS, name: str,
+                 file: _FaultedFile) -> None:
         self._vfs = vfs
+        self._name = name
         self._file = file
 
     def read_at(self, offset: int, length: int,
                 category: Category = Category.DATA,
                 charge: bool = True) -> bytes:
-        self._vfs._check_up()
+        self._vfs._read_op()
         data = bytes(self._file.data[offset:offset + length])
+        data = self._vfs._maybe_corrupt(self._name, category, data)
         if charge:
             self._vfs.stats.record_read(len(data), category)
         return data

@@ -122,7 +122,30 @@ class Options:
         (:mod:`repro.dist`) uses for cross-shard top-K.  Allocated numbers
         must exceed every previously returned number.
     paranoid_checks:
-        Verify every block CRC on read (always on for meta blocks).
+        Verify every block CRC on read (always on for meta blocks).  Off by
+        default — the paper's I/O accounting reads data blocks without a
+        per-read checksum pass — so silent bit rot in *data* blocks is only
+        caught by scans/compactions that decode the block, by
+        :meth:`repro.lsm.db.DB.verify_integrity`, or by the scrubber
+        (:mod:`repro.lsm.scrub`), both of which always verify regardless of
+        this option.  See TUNING.md for the tradeoff.
+    on_corruption:
+        What a read does when a data block fails its integrity check.
+        ``"raise"`` (default, LevelDB's behaviour) propagates
+        :class:`~repro.lsm.errors.CorruptionError` to the caller.
+        ``"quarantine"`` contains the damage instead: the affected table is
+        quarantined (served around by reads, its blocks evicted from every
+        cache, counted in ``DB.stats()["corruption"]``) and corrupt
+        filter/bloom blocks degrade to filter-less reads — filters are
+        advisory, so degraded reads stay correct, just slower.  Quarantined
+        *index* tables can be rebuilt from the primary records
+        (:meth:`repro.core.database.SecondaryIndexedDB.heal_indexes`).
+    read_retries / read_retry_backoff_seconds:
+        Transient read errors (``EIO`` that is not a checksum failure) are
+        retried up to ``read_retries`` times, sleeping
+        ``read_retry_backoff_seconds * 2**attempt`` (bounded) between
+        attempts, before being treated as corruption.  The default backoff
+        of 0 keeps the deterministic test harness instant.
     sync_writes:
         Fsync the WAL after every write batch (LocalVFS only).
     max_manifest_size:
@@ -190,6 +213,9 @@ class Options:
     merge_operator: MergeOperator | None = field(default=None, repr=False)
     sequence_oracle: SequenceOracle | None = field(default=None, repr=False)
     paranoid_checks: bool = False
+    on_corruption: str = "raise"
+    read_retries: int = 2
+    read_retry_backoff_seconds: float = 0.0
     sync_writes: bool = False
     disable_auto_compaction: bool = False
     max_manifest_size: int = 64 * 1024
@@ -225,6 +251,13 @@ class Options:
             raise ValueError("max_write_group_bytes must be positive")
         if self.max_open_files < 1:
             raise ValueError("max_open_files must be at least 1")
+        if self.on_corruption not in ("raise", "quarantine"):
+            raise ValueError(
+                f"unknown on_corruption policy: {self.on_corruption!r}")
+        if self.read_retries < 0:
+            raise ValueError("read_retries must be >= 0")
+        if self.read_retry_backoff_seconds < 0:
+            raise ValueError("read_retry_backoff_seconds must be >= 0")
 
     def max_bytes_for_level(self, level: int) -> float:
         """Size budget of ``level``; level 0 is governed by file count instead."""

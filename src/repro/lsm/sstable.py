@@ -22,6 +22,7 @@ only data blocks that survive pruning are read — and charged.
 from __future__ import annotations
 
 import struct
+import time
 import zlib
 from bisect import bisect_left
 from dataclasses import dataclass, field
@@ -30,7 +31,7 @@ from typing import Any, Iterator
 from repro.lsm.block import Block, BlockBuilder
 from repro.lsm.bloom import BloomFilterBuilder, bloom_may_contain
 from repro.lsm.compression import Compressor, decompress
-from repro.lsm.errors import CorruptionError
+from repro.lsm.errors import CorruptionError, SimulatedCrashError
 from repro.lsm.keys import (
     KIND_FOR_SEEK,
     KIND_VALUE,
@@ -100,9 +101,42 @@ def _write_physical_block(out: WritableFile, payload: bytes,
     return BlockHandle(offset, len(data))
 
 
+def _read_at_retry(file: RandomAccessFile, offset: int, length: int,
+                   category: Category, options: Options) -> bytes:
+    """``read_at`` with bounded retries for *transient* I/O errors.
+
+    A checksum failure is not transient (the bytes arrived, they are just
+    wrong) and a simulated crash is terminal, so neither is retried.  A
+    read that keeps failing past the retry budget is treated as corruption:
+    the containment layer then quarantines rather than crash-looping.
+    """
+    attempts = options.read_retries
+    delay = options.read_retry_backoff_seconds
+    max_delay = options.read_retry_backoff_seconds * 8
+    while True:
+        try:
+            return file.read_at(offset, length, category)
+        except (CorruptionError, SimulatedCrashError):
+            raise
+        except OSError as exc:
+            if attempts <= 0:
+                raise CorruptionError(
+                    f"read at offset {offset} still failing after "
+                    f"{options.read_retries} retries: {exc}") from exc
+            attempts -= 1
+            if delay > 0:
+                time.sleep(delay)
+                delay = min(delay * 2, max_delay)
+
+
 def _read_physical_block(file: RandomAccessFile, handle: BlockHandle,
-                         category: Category, verify_crc: bool) -> bytes:
-    raw = file.read_at(handle.offset, handle.size + 5, category)
+                         category: Category, verify_crc: bool,
+                         options: Options | None = None) -> bytes:
+    if options is None:
+        raw = file.read_at(handle.offset, handle.size + 5, category)
+    else:
+        raw = _read_at_retry(file, handle.offset, handle.size + 5, category,
+                             options)
     if len(raw) != handle.size + 5:
         raise CorruptionError(
             f"truncated block read at offset {handle.offset}")
@@ -320,15 +354,16 @@ class SSTable:
         self.options = options
         self.file = file
         self.file_number = file_number
-        footer = file.read_at(file.size - _FOOTER_SIZE, _FOOTER_SIZE,
-                              Category.INDEX)
+        footer = _read_at_retry(file, file.size - _FOOTER_SIZE, _FOOTER_SIZE,
+                                Category.INDEX, options)
         if len(footer) != _FOOTER_SIZE or footer[-8:] != _MAGIC:
             raise CorruptionError(
                 f"bad SSTable footer in file {file_number}")
         metaindex_handle, pos = BlockHandle.decode(footer, 0)
         index_handle, _pos = BlockHandle.decode(footer, pos)
         self._index_block = Block(_read_physical_block(
-            file, index_handle, Category.INDEX, verify_crc=True))
+            file, index_handle, Category.INDEX, verify_crc=True,
+            options=options))
         self._index_entries: list[tuple[bytes, BlockHandle]] = []
         for key, value in self._index_block:
             handle, _off = BlockHandle.decode(value, 0)
@@ -344,20 +379,43 @@ class SSTable:
         self.primary_filters: list[bytes] = []
         self.secondary_filters: dict[str, list[bytes]] = {}
         self.secondary_zonemaps: dict[str, list[ZoneMap]] = {}
+        #: Meta blocks that failed their CRC and were dropped instead of
+        #: failing the open (``on_corruption="quarantine"`` only).  Filters
+        #: and zone maps are advisory — a missing one means "must read the
+        #: data block", never a wrong answer — so the table degrades to
+        #: filter-less reads rather than being lost whole.
+        self.degraded_filters: list[str] = []
         self._load_meta(metaindex_handle)
         self._block_cache: Any = None  # set by TableCache when caching is on
 
     def _load_meta(self, metaindex_handle: BlockHandle) -> None:
-        payload = _read_physical_block(
-            self.file, metaindex_handle, Category.INDEX, verify_crc=True)
+        degrade = self.options.on_corruption == "quarantine"
+        try:
+            payload = _read_physical_block(
+                self.file, metaindex_handle, Category.INDEX, verify_crc=True,
+                options=self.options)
+        except CorruptionError:
+            if not degrade:
+                raise
+            # The metaindex names every filter block; without it none can
+            # be located, so the whole advisory layer is dropped.
+            self.degraded_filters.append("metaindex")
+            return
         count, pos = decode_varint(payload, 0)
         for _ in range(count):
             name_bytes, pos = decode_length_prefixed(payload, pos)
             handle_bytes, pos = decode_length_prefixed(payload, pos)
             handle, _off = BlockHandle.decode(handle_bytes, 0)
-            block_payload = _read_physical_block(
-                self.file, handle, Category.FILTER, verify_crc=True)
             name = name_bytes.decode("utf-8")
+            try:
+                block_payload = _read_physical_block(
+                    self.file, handle, Category.FILTER, verify_crc=True,
+                    options=self.options)
+            except CorruptionError:
+                if not degrade:
+                    raise
+                self.degraded_filters.append(name)
+                continue
             if name_bytes == _META_PRIMARY_FILTER:
                 self.primary_filters = _decode_filter_block(block_payload)
             elif name.startswith(_META_SECONDARY_FILTER):
@@ -379,17 +437,26 @@ class SSTable:
                         category: Category = Category.DATA) -> Block:
         """Read (and decompress) data block ``index``, consulting the cache."""
         handle = self._index_entries[index][1]
+        cache_key = (self.file_number, handle.offset)
         if self._block_cache is not None:
-            cached = self._block_cache.get((self.file_number, handle.offset))
+            cached = self._block_cache.get(cache_key)
             if cached is not None:
                 return cached
-        payload = _read_physical_block(
-            self.file, handle, category,
-            verify_crc=self.options.paranoid_checks)
-        block = Block(payload)
+        try:
+            payload = _read_physical_block(
+                self.file, handle, category,
+                verify_crc=self.options.paranoid_checks,
+                options=self.options)
+            block = Block(payload)
+        except CorruptionError:
+            # Never let a poisoned entry linger: any previously cached copy
+            # of this block must not be served after the file heals or the
+            # table is quarantined.
+            if self._block_cache is not None:
+                self._block_cache.evict(cache_key)
+            raise
         if self._block_cache is not None:
-            self._block_cache.put((self.file_number, handle.offset), block,
-                                  len(payload))
+            self._block_cache.put(cache_key, block, len(payload))
         return block
 
     def _block_index_for(self, internal_key: bytes) -> int | None:

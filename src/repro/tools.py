@@ -5,6 +5,8 @@ Mirrors LevelDB's ``ldb``/``leveldbutil`` utilities::
     python -m repro stats   <directory> <db-name>
     python -m repro dump    <directory> <db-name> [--limit N]
     python -m repro verify  <directory> <db-name>
+    python -m repro scrub   <directory> <db-name> [--budget N]
+    python -m repro repair  <directory> <db-name> [--dry-run]
     python -m repro profile <workload> [--ops N] [--top N]
 
 ``directory`` is a :class:`~repro.lsm.vfs.LocalVFS` root (where the
@@ -106,6 +108,75 @@ def cmd_verify(directory: str, name: str, out: IO[str]) -> int:
         db.close()
 
 
+def cmd_scrub(directory: str, name: str, out: IO[str],
+              budget: int | None = None) -> int:
+    """CRC-verify every live block, the WAL tail and the manifest.
+
+    ``--budget N`` bounds one slice to about N blocks (resumption is an
+    in-process affair; the CLI always runs slices to completion).  Exit
+    status 1 on any finding.  The CLI opens with the default
+    ``on_corruption="raise"`` policy, so a scrub only *reports* — it never
+    quarantines behind the running database's back.
+    """
+    from repro.lsm.errors import CorruptionError
+
+    try:
+        db = _open(directory, name)
+    except CorruptionError as exc:
+        out.write(f"PROBLEM: cannot open database: {exc}\n")
+        out.write("hint: try `repair` to salvage readable data\n")
+        return 1
+    try:
+        report = db.scrub(block_budget=budget)
+        while not report.complete:
+            more = db.scrub(block_budget=budget)
+            report.tables_scanned += more.tables_scanned
+            report.blocks_verified += more.blocks_verified
+            report.wal_files_verified += more.wal_files_verified
+            report.manifest_verified = more.manifest_verified
+            report.problems.extend(more.problems)
+            report.complete = more.complete
+        out.write(f"tables:   {report.tables_scanned}\n")
+        out.write(f"blocks:   {report.blocks_verified}\n")
+        out.write(f"wal:      {report.wal_files_verified} file(s)\n")
+        out.write(f"manifest: "
+                  f"{'ok' if report.manifest_verified else 'PROBLEM'}\n")
+        if report.clean:
+            out.write("OK\n")
+            return 0
+        for problem in report.problems:
+            out.write(f"PROBLEM: {problem}\n")
+        return 1
+    finally:
+        db.close()
+
+
+def cmd_repair(directory: str, name: str, out: IO[str],
+               dry_run: bool = False) -> int:
+    """Salvage a damaged database (LevelDB's ``RepairDB``).
+
+    Operates on the files directly — never opens the database through the
+    normal recovery path, so it works even when the manifest or WAL is too
+    damaged for ``open`` to succeed.  ``--dry-run`` reports what would be
+    done without touching anything.
+    """
+    from repro.lsm.repair import repair_db
+
+    report = repair_db(LocalVFS(directory), name, dry_run=dry_run)
+    mode = "dry-run: " if dry_run else ""
+    out.write(f"{mode}tables kept:     {report.tables_kept}\n")
+    out.write(f"{mode}tables salvaged: {report.tables_salvaged} "
+              f"({report.blocks_dropped} bad blocks dropped)\n")
+    out.write(f"{mode}tables dropped:  {report.tables_dropped}\n")
+    out.write(f"{mode}wal records:     {report.wal_records_salvaged}\n")
+    out.write(f"{mode}last sequence:   {report.last_sequence}\n")
+    for problem in report.problems:
+        out.write(f"found: {problem}\n")
+    for action in report.actions:
+        out.write(f"{action}\n")
+    return 0
+
+
 PROFILE_WORKLOADS = ("put", "get", "scan", "lookup")
 
 
@@ -190,13 +261,19 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         prog="python -m repro",
         description="Inspect, verify, and profile LevelDB++ databases.")
     subparsers = parser.add_subparsers(dest="command", required=True)
-    for command in ("stats", "dump", "verify"):
+    for command in ("stats", "dump", "verify", "scrub", "repair"):
         sub = subparsers.add_parser(command)
         sub.add_argument("directory", help="LocalVFS root directory")
         sub.add_argument("name", help="database name within the directory")
         if command == "dump":
             sub.add_argument("--limit", type=int, default=None,
                              help="stop after N entries")
+        elif command == "scrub":
+            sub.add_argument("--budget", type=int, default=None,
+                             help="blocks per scrub slice (default: all)")
+        elif command == "repair":
+            sub.add_argument("--dry-run", action="store_true",
+                             help="report what would be done; change nothing")
     profile = subparsers.add_parser(
         "profile", help="cProfile a synthetic engine workload")
     profile.add_argument("workload", choices=PROFILE_WORKLOADS)
@@ -209,6 +286,10 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         return cmd_stats(args.directory, args.name, out)
     if args.command == "dump":
         return cmd_dump(args.directory, args.name, out, args.limit)
+    if args.command == "scrub":
+        return cmd_scrub(args.directory, args.name, out, args.budget)
+    if args.command == "repair":
+        return cmd_repair(args.directory, args.name, out, args.dry_run)
     if args.command == "profile":
         return cmd_profile(args.workload, args.ops, args.top, out)
     return cmd_verify(args.directory, args.name, out)

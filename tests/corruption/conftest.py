@@ -1,0 +1,39 @@
+"""Shared fixtures for the corruption-survival drills.
+
+Every drill runs on a :class:`~repro.lsm.faults.FaultInjectingVFS` so bit
+rot, transient EIO and disk-full are deterministic test inputs.  The
+geometry is tiny (a few hundred rows already span several tables) and
+compression is off, so a flipped stored byte maps one-to-one onto a
+flipped payload byte — exactly the damage the block CRCs must catch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lsm.db import DB
+from repro.lsm.faults import FaultInjectingVFS
+from repro.lsm.options import Options
+
+from drill_utils import corruption_options, populate
+
+
+@pytest.fixture
+def quarantine_options() -> Options:
+    return corruption_options()
+
+
+@pytest.fixture
+def paranoid_options() -> Options:
+    """Quarantine policy plus per-read CRC checks: inline detection."""
+    return corruption_options(paranoid_checks=True)
+
+
+@pytest.fixture
+def faulty_db():
+    """``(vfs, db, expected)``: a populated multi-table DB on a faulty disk."""
+    vfs = FaultInjectingVFS()
+    db = DB.open(vfs, "db", corruption_options())
+    expected = populate(db)
+    yield vfs, db, expected
+    db.close()

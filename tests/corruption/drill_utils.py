@@ -1,0 +1,47 @@
+"""Helpers shared by the corruption-survival drills.
+
+Kept out of ``conftest.py`` so test modules can import them directly
+(the test tree is not a package; pytest puts this directory on
+``sys.path``).
+"""
+
+from __future__ import annotations
+
+from repro.lsm.db import DB
+from repro.lsm.faults import FaultInjectingVFS
+from repro.lsm.options import Options
+
+
+def corruption_options(**overrides) -> Options:
+    """Tiny multi-table geometry, compression off, quarantine policy."""
+    defaults = dict(
+        block_size=1024,
+        sstable_target_size=4 * 1024,
+        memtable_budget=4 * 1024,
+        l1_target_size=16 * 1024,
+        compression="none",
+        on_corruption="quarantine",
+        read_retry_backoff_seconds=0.0,
+    )
+    defaults.update(overrides)
+    return Options(**defaults)
+
+
+def populate(db: DB, rows: int = 300) -> dict[bytes, bytes]:
+    """Write ``rows`` records, flush, and return the expected contents."""
+    expected = {}
+    for i in range(rows):
+        key = f"k{i:04d}".encode()
+        value = f"value-{i:04d}".encode() * 3
+        db.put(key, value)
+        expected[key] = value
+    db.flush()
+    return expected
+
+
+def table_files(vfs: FaultInjectingVFS, name: str = "db") -> list[str]:
+    return sorted(n for n in vfs.list_dir(name + "/") if n.endswith(".ldb"))
+
+
+def wal_files(vfs: FaultInjectingVFS, name: str = "db") -> list[str]:
+    return sorted(n for n in vfs.list_dir(name + "/") if n.endswith(".log"))

@@ -1,0 +1,164 @@
+"""Index self-healing: the primary record store is authoritative.
+
+A quarantined secondary-index table is never repaired in place — the
+whole index database is discarded and rebuilt by replaying every live
+primary record through the index's own write path.  The healed index
+must answer every query exactly like an index that was never corrupted
+(verified against an uncorrupted twin built from the same writes).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.base import IndexKind
+from repro.core.database import SecondaryIndexedDB
+from repro.lsm.vfs import MemoryVFS
+
+from drill_utils import corruption_options
+
+
+CITIES = [f"city{i}" for i in range(7)]
+
+
+def build(vfs, kind=IndexKind.EAGER, rows=120, seed=None, **overrides):
+    options = corruption_options(**overrides)
+    db = SecondaryIndexedDB.open(vfs, "data", {"city": kind},
+                                 options=options)
+    rng = random.Random(seed)
+    for i in range(rows):
+        city = CITIES[i % 7] if seed is None else rng.choice(CITIES)
+        db.put(f"user{i:04d}", {"name": f"u{i}", "city": city})
+    if seed is not None:
+        # A few overwrites and deletes so healing must respect versions.
+        for i in rng.sample(range(rows), rows // 10):
+            db.put(f"user{i:04d}", {"name": f"u{i}!", "city":
+                                    rng.choice(CITIES)})
+        for i in rng.sample(range(rows), rows // 20):
+            db.delete(f"user{i:04d}")
+    db.flush()
+    return db
+
+
+def corrupt_index_table(vfs, kind=IndexKind.EAGER):
+    """Rot every index table: older ones may be fully shadowed by newer
+    versions (and so never read), corrupting all of them guarantees the
+    next lookup trips on a bad block whichever table it consults."""
+    prefix = f"data/index-{kind.value}-city/"
+    names = [n for n in vfs.list_dir(prefix) if n.endswith(".ldb")]
+    assert names, "the index flushed at least one table"
+    for name in names:
+        vfs._files[name][40] ^= 0xFF
+
+
+def lookup_keys(db, city):
+    return sorted(r.key for r in
+                  db.lookup("city", city, early_termination=False))
+
+
+class TestInlineQuarantineHeal:
+    def test_paranoid_read_quarantines_then_heals_to_parity(self):
+        victim_vfs, control_vfs = MemoryVFS(), MemoryVFS()
+        victim = build(victim_vfs, paranoid_checks=True)
+        control = build(control_vfs, paranoid_checks=True)
+        corrupt_index_table(victim_vfs)
+        # Queries before healing never raise and never return a wrong
+        # row — the quarantined table's postings are simply missing.
+        for city in CITIES:
+            assert set(lookup_keys(victim, city)) <= \
+                set(lookup_keys(control, city))
+        assert victim.quarantined_indexes() == ["city"]
+        healed = victim.heal_indexes()
+        assert healed == {"city": 120}
+        assert victim.quarantined_indexes() == []
+        for city in CITIES:
+            assert lookup_keys(victim, city) == lookup_keys(control, city)
+        victim.close()
+        control.close()
+
+    def test_scrub_route_heals_without_paranoid_reads(self):
+        victim_vfs, control_vfs = MemoryVFS(), MemoryVFS()
+        victim = build(victim_vfs)
+        control = build(control_vfs)
+        corrupt_index_table(victim_vfs)
+        report = victim.indexes["city"].index_db.scrub()
+        assert report.quarantined
+        assert victim.quarantined_indexes() == ["city"]
+        victim.heal_indexes()
+        for city in CITIES:
+            assert lookup_keys(victim, city) == lookup_keys(control, city)
+        victim.close()
+        control.close()
+
+
+class TestRebuildSemantics:
+    def test_rebuild_unquarantined_index_is_safe(self):
+        vfs = MemoryVFS()
+        db = build(vfs)
+        before = {city: lookup_keys(db, city) for city in CITIES}
+        assert db.rebuild_index("city") == 120
+        after = {city: lookup_keys(db, city) for city in CITIES}
+        assert after == before
+        db.close()
+
+    def test_embedded_index_has_nothing_to_rebuild(self):
+        vfs = MemoryVFS()
+        db = build(vfs, kind=IndexKind.EMBEDDED)
+        assert db.rebuild_index("city") == 0
+        assert db.quarantined_indexes() == []
+        db.close()
+
+    def test_heal_with_no_damage_is_a_noop(self):
+        vfs = MemoryVFS()
+        db = build(vfs)
+        assert db.heal_indexes() == {}
+        db.close()
+
+    @pytest.mark.parametrize("kind", [IndexKind.EAGER, IndexKind.LAZY,
+                                      IndexKind.COMPOSITE])
+    def test_every_standalone_kind_heals(self, kind):
+        victim_vfs, control_vfs = MemoryVFS(), MemoryVFS()
+        victim = build(victim_vfs, kind=kind, paranoid_checks=True)
+        control = build(control_vfs, kind=kind, paranoid_checks=True)
+        corrupt_index_table(victim_vfs, kind=kind)
+        for city in CITIES:
+            lookup_keys(victim, city)  # trip the quarantine
+        assert victim.quarantined_indexes() == ["city"]
+        victim.heal_indexes()
+        for city in CITIES:
+            assert lookup_keys(victim, city) == lookup_keys(control, city)
+        victim.close()
+        control.close()
+
+
+class TestPropertyParity:
+    """Across randomized workloads (overwrites and deletes included),
+    quarantine + rebuild always converges back to the uncorrupted twin."""
+
+    @pytest.mark.parametrize("seed", [7, 23, 1009])
+    def test_healed_equals_uncorrupted_twin(self, seed):
+        victim_vfs, control_vfs = MemoryVFS(), MemoryVFS()
+        victim = build(victim_vfs, rows=150, seed=seed,
+                       paranoid_checks=True)
+        control = build(control_vfs, rows=150, seed=seed,
+                        paranoid_checks=True)
+        corrupt_index_table(victim_vfs)
+        for city in CITIES:
+            degraded = lookup_keys(victim, city)
+            assert set(degraded) <= set(lookup_keys(control, city))
+        if victim.quarantined_indexes():
+            victim.heal_indexes()
+        for city in CITIES:
+            assert lookup_keys(victim, city) == lookup_keys(control, city)
+        # Range queries exercise the index's ordered structure too.
+        victim_range = sorted(
+            r.key for r in victim.range_lookup(
+                "city", "city0", "city6", early_termination=False))
+        control_range = sorted(
+            r.key for r in control.range_lookup(
+                "city", "city0", "city6", early_termination=False))
+        assert victim_range == control_range
+        victim.close()
+        control.close()
