@@ -157,8 +157,11 @@ class SecondaryIndexedDB:
         """PUT(k, v): write (or overwrite) and maintain every index."""
         self._check_open()
         key_bytes = key_to_bytes(key)
-        self.primary.put(key_bytes, encode_document(document))
-        seq = self.primary.versions.last_sequence
+        # The commit returns this write's own sequence number; reading
+        # versions.last_sequence afterwards would race a concurrent writer
+        # under the background pipeline and stamp the index entries with a
+        # stranger's sequence.
+        seq = self.primary.put(key_bytes, encode_document(document))
         for index in self.indexes.values():
             index.on_put(key_bytes, document, seq)
         return seq
@@ -171,12 +174,13 @@ class SecondaryIndexedDB:
             return None
         return decode_document(value)
 
-    def delete(self, key: str | bytes) -> None:
+    def delete(self, key: str | bytes) -> int:
         """DEL(k): remove the record and maintain every index.
 
         Stand-alone indexes need the dying record's attribute values to
         target the right posting list / composite key, so their presence
         costs one data-table GET here (the paper's Table 5 read column).
+        Returns the tombstone's sequence number.
         """
         self._check_open()
         key_bytes = key_to_bytes(key)
@@ -185,10 +189,10 @@ class SecondaryIndexedDB:
             old_value = self.primary.get(key_bytes)
             if old_value is not None:
                 old_document = decode_document(old_value)
-        self.primary.delete(key_bytes)
-        seq = self.primary.versions.last_sequence
+        seq = self.primary.delete(key_bytes)
         for index in self.indexes.values():
             index.on_delete(key_bytes, old_document, seq)
+        return seq
 
     # -- secondary queries (Table 1) -----------------------------------------------
 

@@ -100,12 +100,12 @@ class GlobalSecondaryIndex:
                 f"partitioner covers {self.partitioner.num_shards} shards, "
                 f"expected {num_index_shards}")
         self.checker = checker
-        index_options = replace(options, indexed_attributes=(),
-                                merge_operator=posting_merge_operator)
+        self._index_options = replace(options, indexed_attributes=(),
+                                      merge_operator=posting_merge_operator)
         self.shards: list[LazyIndex] = []
         for shard_id in range(num_index_shards):
             index_db = DB.open(MemoryVFS(), f"gsi-{attribute}-{shard_id}",
-                               index_options)
+                               self._index_options)
             self.shards.append(LazyIndex(attribute, index_db, checker))
         #: Index shards touched by queries (the cross-shard fan-out metric).
         self.shards_contacted = 0
@@ -165,6 +165,33 @@ class GlobalSecondaryIndex:
             deduped.append(result)
         return deduped if k is None else deduped[:k]
 
+    def rebuild(self, data_shards: list[SecondaryIndexedDB]) -> int:
+        """Discard the ring and replay every live record from the shards.
+
+        The data shards are authoritative (same contract as
+        :meth:`SecondaryIndexedDB.rebuild_index`): a ring left stale by a
+        mid-maintenance fault is regenerated wholesale, so afterwards it
+        answers queries exactly as a ring that never missed an update.
+        Returns the number of records replayed.
+        """
+        for shard in self.shards:
+            shard.close()
+        self.shards = []
+        for shard_id in range(self.partitioner.num_shards):
+            index_db = DB.open(MemoryVFS(),
+                               f"gsi-{self.attribute}-{shard_id}",
+                               self._index_options)
+            self.shards.append(LazyIndex(self.attribute, index_db,
+                                         self.checker))
+        replayed = 0
+        for data_shard in data_shards:
+            for key_bytes, value, seq in data_shard.primary.scan_with_seq():
+                self.on_put(key_bytes, decode_document(value), seq)
+                replayed += 1
+        for shard in self.shards:
+            shard.flush()
+        return replayed
+
     def size_bytes(self) -> int:
         """Total bytes across the whole index ring."""
         return sum(shard.size_bytes() for shard in self.shards)
@@ -191,6 +218,9 @@ class ShardedDB:
         self.oracle = oracle
         #: Data shards touched by secondary queries (scatter-gather cost).
         self.data_shards_contacted = 0
+        #: GSI rings that missed a maintenance update (fault mid-put) and
+        #: must be rebuilt from the data shards before serving queries.
+        self._dirty_global: set[str] = set()
         self._closed = False
 
     @classmethod
@@ -258,13 +288,18 @@ class ShardedDB:
     # -- base operations ---------------------------------------------------------
 
     def put(self, key: str | bytes, document: Document) -> int:
-        """Write to the owning data shard, then maintain every GSI."""
+        """Write to the owning data shard, then maintain every GSI.
+
+        The record is durable once the shard write returns; a fault while
+        maintaining a GSI marks that ring dirty (it rebuilds before its
+        next query) instead of leaving it silently stale.
+        """
         self._check_open()
         key_bytes = key_to_bytes(key)
         shard = self._shard_for(key_bytes)
         seq = shard.put(key_bytes, document)
-        for index in self.global_indexes.values():
-            index.on_put(key_bytes, document, seq)
+        self._maintain_global(
+            lambda index: index.on_put(key_bytes, document, seq))
         return seq
 
     def get(self, key: str | bytes) -> Document | None:
@@ -272,18 +307,48 @@ class ShardedDB:
         self._check_open()
         return self._shard_for(key_to_bytes(key)).get(key)
 
-    def delete(self, key: str | bytes) -> None:
-        """Delete from the owning shard; GSIs get deletion markers."""
+    def delete(self, key: str | bytes) -> int:
+        """Delete from the owning shard; GSIs get deletion markers.
+
+        The tombstone's sequence number comes from the delete itself —
+        reading ``versions.last_sequence`` afterwards would race a
+        concurrent writer on the same shard and stamp the GSI marker with
+        a stranger's sequence, breaking the globally-comparable-sequence
+        invariant :meth:`_scatter_gather` and validation rely on.
+        """
         self._check_open()
         key_bytes = key_to_bytes(key)
         shard = self._shard_for(key_bytes)
         old_document = None
         if self.global_indexes:
             old_document = shard.get(key_bytes)
-        shard.delete(key_bytes)
-        seq = shard.primary.versions.last_sequence
-        for index in self.global_indexes.values():
-            index.on_delete(key_bytes, old_document, seq)
+        seq = shard.delete(key_bytes)
+        self._maintain_global(
+            lambda index: index.on_delete(key_bytes, old_document, seq))
+        return seq
+
+    def _maintain_global(self, apply: Callable[[GlobalSecondaryIndex], None]
+                         ) -> None:
+        """Apply one maintenance op to every GSI ring, containing faults.
+
+        The data-shard write has already committed when this runs, so a
+        fault here must not strand the index silently: the failing ring is
+        marked dirty (rebuilt from the shards before its next query), the
+        remaining rings still get their update, and the first fault is
+        re-raised so the caller sees the failure.
+        """
+        first_error: Exception | None = None
+        for attribute, index in self.global_indexes.items():
+            if attribute in self._dirty_global:
+                continue  # pending rebuild will replay this write anyway
+            try:
+                apply(index)
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                self._dirty_global.add(attribute)
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     # -- secondary queries ---------------------------------------------------------
 
@@ -292,6 +357,8 @@ class ShardedDB:
         """LOOKUP: one GSI shard (global) or all-shard scatter (local)."""
         self._check_open()
         if attribute in self.global_indexes:
+            if attribute in self._dirty_global:
+                self.rebuild_global_index(attribute)
             return self.global_indexes[attribute].lookup(
                 value, k, early_termination)
         if attribute not in self.local_attributes:
@@ -307,6 +374,8 @@ class ShardedDB:
         """RANGELOOKUP, routed or scattered per the attribute's scope."""
         self._check_open()
         if attribute in self.global_indexes:
+            if attribute in self._dirty_global:
+                self.rebuild_global_index(attribute)
             return self.global_indexes[attribute].range_lookup(
                 low, high, k, early_termination)
         if attribute not in self.local_attributes:
@@ -329,6 +398,43 @@ class ShardedDB:
             merged.extend(query(shard))
         merged.sort(key=lambda r: -r.seq)
         return merged if k is None else merged[:k]
+
+    # -- index healing -------------------------------------------------------------
+
+    def dirty_global_indexes(self) -> list[str]:
+        """Attributes whose GSI ring missed an update and awaits rebuild."""
+        return sorted(self._dirty_global)
+
+    def rebuild_global_index(self, attribute: str) -> int:
+        """Rebuild one GSI ring from the (authoritative) data shards.
+
+        Returns the number of records replayed; clears the dirty mark.
+        """
+        self._check_open()
+        index = self.global_indexes.get(attribute)
+        if index is None:
+            raise InvalidArgumentError(
+                f"no global index on attribute {attribute!r}")
+        replayed = index.rebuild(self.data_shards)
+        self._dirty_global.discard(attribute)
+        return replayed
+
+    def heal_indexes(self) -> dict[str, int]:
+        """Rebuild every dirty GSI ring and every shard's quarantined index.
+
+        Returns ``{"global:attr" | "shardN:attr": records_replayed}`` —
+        the cluster-wide face of the single-node ``heal_indexes``
+        machinery.
+        """
+        self._check_open()
+        healed: dict[str, int] = {}
+        for attribute in self.dirty_global_indexes():
+            healed[f"global:{attribute}"] = \
+                self.rebuild_global_index(attribute)
+        for shard_id, shard in enumerate(self.data_shards):
+            for attribute, replayed in shard.heal_indexes().items():
+                healed[f"shard{shard_id}:{attribute}"] = replayed
+        return healed
 
     # -- introspection -------------------------------------------------------------
 

@@ -614,20 +614,33 @@ class DB:
 
     # -- writes -----------------------------------------------------------------
 
-    def put(self, key: bytes, value: bytes) -> None:
-        """Insert or overwrite ``key`` (Table 1's PUT)."""
-        self.write(WriteBatch().put(key, value))
+    def put(self, key: bytes, value: bytes) -> int:
+        """Insert or overwrite ``key`` (Table 1's PUT); returns its seq.
 
-    def delete(self, key: bytes) -> None:
-        """Remove ``key`` if present (Table 1's DEL): writes a tombstone."""
-        self.write(WriteBatch().delete(key))
+        The returned sequence number is the one assigned to *this* write
+        by the commit itself — callers that need to attribute the write
+        (secondary indexes, replication) must use it rather than read
+        ``versions.last_sequence`` afterwards, which a concurrent writer
+        may have advanced in between.
+        """
+        return self.write(WriteBatch().put(key, value))
 
-    def merge(self, key: bytes, operand: bytes) -> None:
-        """Append a merge operand; requires ``options.merge_operator``."""
+    def delete(self, key: bytes) -> int:
+        """Remove ``key`` if present (Table 1's DEL): writes a tombstone.
+
+        Returns the tombstone's sequence number (see :meth:`put`).
+        """
+        return self.write(WriteBatch().delete(key))
+
+    def merge(self, key: bytes, operand: bytes) -> int:
+        """Append a merge operand; requires ``options.merge_operator``.
+
+        Returns the operand's sequence number (see :meth:`put`).
+        """
         if self.options.merge_operator is None:
             raise InvalidArgumentError(
                 "DB.merge requires options.merge_operator")
-        self.write(WriteBatch().merge(key, operand))
+        return self.write(WriteBatch().merge(key, operand))
 
     def write(self, batch: WriteBatch) -> int:
         """Apply ``batch`` atomically; returns the last assigned sequence.

@@ -1,0 +1,317 @@
+"""Client for the serving layer: pooled connections, pipelining.
+
+One :class:`Client` owns a pool of sockets.  Single-shot calls
+(:meth:`Client.put`, :meth:`Client.get`, ...) check a connection out,
+run one request/response round trip, and return it.  The pool is lazy
+and LIFO — a single-threaded caller reuses one warm socket; ``pool_size``
+threads can call concurrently without sharing a connection.
+
+Pipelining batches round trips::
+
+    with client.pipeline() as p:
+        for key, value in items:
+            p.put(key, value)
+    seqs = p.results          # one result per queued op, in order
+
+The pipeline sends every queued request in one write and then reads the
+responses back in order (the server answers FIFO per connection).  On
+the server side a pipelined run of writes is coalesced into a single
+WriteBatch — one group-commit entry, one fsync — which is where the
+serving layer's throughput comes from.
+
+Failures inside a pipeline surface as :class:`RemoteError` after *all*
+responses are drained, so the connection stays usable.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Any, Iterator
+
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ProtocolError,
+    STATUS_OK,
+    decode_value,
+    encode_frame,
+    encode_value,
+    read_frame,
+)
+
+__all__ = ["Client", "Pipeline", "RemoteError"]
+
+
+class RemoteError(Exception):
+    """The server answered a request with an error response.
+
+    ``remote_type`` carries the exception class name raised server-side
+    (e.g. ``"InvalidArgumentError"``).
+    """
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message
+
+
+class _Conn:
+    """One pooled socket plus its request-id counter."""
+
+    __slots__ = ("sock", "next_id", "broken")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.next_id = 1
+        self.broken = False
+
+
+class Client:
+    """Pooled client for one server address.
+
+    Thread-safe: up to ``pool_size`` threads run requests in parallel,
+    each on its own connection; further threads wait for a free one.
+    """
+
+    def __init__(self, host: str, port: int, *, pool_size: int = 4,
+                 timeout: float | None = 30.0,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self._address = (host, port)
+        self._timeout = timeout
+        self._max_frame_bytes = max_frame_bytes
+        self._pool: queue.LifoQueue[_Conn] = queue.LifoQueue()
+        self._pool_size = pool_size
+        self._created = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- pool -----------------------------------------------------------------
+
+    def _connect(self) -> _Conn:
+        sock = socket.create_connection(self._address,
+                                        timeout=self._timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        return _Conn(sock)
+
+    def _checkout(self) -> _Conn:
+        if self._closed:
+            raise ProtocolError("client is closed")
+        try:
+            return self._pool.get_nowait()
+        except queue.Empty:
+            pass
+        with self._lock:
+            if self._created < self._pool_size:
+                self._created += 1
+                try:
+                    return self._connect()
+                except BaseException:
+                    self._created -= 1
+                    raise
+        return self._pool.get()
+
+    def _release(self, conn: _Conn) -> None:
+        if conn.broken or self._closed:
+            self._discard(conn)
+        else:
+            self._pool.put(conn)
+
+    def _discard(self, conn: _Conn) -> None:
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        with self._lock:
+            self._created -= 1
+
+    def close(self) -> None:
+        """Close every pooled connection; in-flight calls may fail."""
+        self._closed = True
+        while True:
+            try:
+                conn = self._pool.get_nowait()
+            except queue.Empty:
+                return
+            self._discard(conn)
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- request plumbing -----------------------------------------------------
+
+    def _call(self, op: str, args: list) -> Any:
+        conn = self._checkout()
+        try:
+            request_id = conn.next_id
+            conn.next_id += 1
+            conn.sock.sendall(encode_frame(encode_value(
+                [request_id, op, *args])))
+            return _read_response(conn, request_id, self._max_frame_bytes)
+        except (OSError, ProtocolError):
+            conn.broken = True
+            raise
+        finally:
+            self._release(conn)
+
+    # -- operations -----------------------------------------------------------
+
+    def put(self, key: Any, value: Any) -> int:
+        """Write one key; returns the committed sequence number."""
+        return self._call("put", [key, value])
+
+    def get(self, key: Any) -> Any:
+        """Read one key; ``None`` if absent."""
+        return self._call("get", [key])
+
+    def delete(self, key: Any) -> int:
+        """Delete one key; returns the tombstone's sequence number."""
+        return self._call("delete", [key])
+
+    def scan(self, low: Any = None, high: Any = None,
+             limit: int | None = None) -> list:
+        """One page of ``[key, value]`` pairs in ``[low, high)``."""
+        return self._call("scan", [low, high, limit])
+
+    def lookup(self, attribute: str, value: Any,
+               k: int | None = None) -> list:
+        """Secondary-index lookup: ``[key, document, seq]`` triples."""
+        return self._call("lookup", [attribute, value, k])
+
+    def range_lookup(self, attribute: str, low: Any, high: Any,
+                     k: int | None = None) -> list:
+        """Secondary-index range lookup: ``[key, document, seq]`` triples."""
+        return self._call("rangelookup", [attribute, low, high, k])
+
+    def stats(self) -> dict:
+        """Server + engine stats (see ``DB.stats`` and ``ServerStats``)."""
+        return self._call("stats", [])
+
+    def pipeline(self) -> "Pipeline":
+        """Batch requests on one dedicated connection (context manager)."""
+        return Pipeline(self)
+
+
+class Pipeline:
+    """Buffered requests flushed as one burst on one connection.
+
+    Not thread-safe; one pipeline belongs to one caller.  Exiting the
+    ``with`` block flushes; :attr:`results` then holds one entry per
+    queued op, in order.
+    """
+
+    def __init__(self, client: Client) -> None:
+        self._client = client
+        self._conn: _Conn | None = None
+        self._queued: list[tuple[int, bytes]] = []
+        self.results: list[Any] = []
+
+    # -- queuing --------------------------------------------------------------
+
+    def _queue_op(self, op: str, args: list) -> int:
+        """Queue one request; returns its index into :attr:`results`."""
+        if self._conn is None:
+            self._conn = self._client._checkout()
+        request_id = self._conn.next_id
+        self._conn.next_id += 1
+        self._queued.append(
+            (request_id, encode_frame(encode_value([request_id, op, *args]))))
+        return len(self._queued) - 1
+
+    def put(self, key: Any, value: Any) -> int:
+        return self._queue_op("put", [key, value])
+
+    def get(self, key: Any) -> int:
+        return self._queue_op("get", [key])
+
+    def delete(self, key: Any) -> int:
+        return self._queue_op("delete", [key])
+
+    def lookup(self, attribute: str, value: Any,
+               k: int | None = None) -> int:
+        return self._queue_op("lookup", [attribute, value, k])
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    # -- flushing -------------------------------------------------------------
+
+    def flush(self, raise_errors: bool = True) -> list:
+        """Send everything queued, read every response, return results.
+
+        All responses are drained before any error is raised, so the
+        connection stays in sync and reusable.  With
+        ``raise_errors=False`` failed ops yield :class:`RemoteError`
+        *instances* in the result list instead of raising.
+        """
+        if not self._queued:
+            return []
+        conn = self._conn
+        assert conn is not None
+        queued, self._queued = self._queued, []
+        try:
+            conn.sock.sendall(b"".join(frame for _, frame in queued))
+            batch: list[Any] = []
+            first_error: RemoteError | None = None
+            for request_id, _ in queued:
+                try:
+                    batch.append(_read_response(
+                        conn, request_id, self._client._max_frame_bytes))
+                except RemoteError as exc:
+                    batch.append(exc)
+                    if first_error is None:
+                        first_error = exc
+        except (OSError, ProtocolError):
+            conn.broken = True
+            raise
+        self.results.extend(batch)
+        if first_error is not None and raise_errors:
+            raise first_error
+        return batch
+
+    def close(self) -> None:
+        """Return the dedicated connection to the pool (unflushed ops drop)."""
+        self._queued = []
+        if self._conn is not None:
+            self._client._release(self._conn)
+            self._conn = None
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        try:
+            if exc_type is None:
+                self.flush()
+        finally:
+            self.close()
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.results)
+
+
+def _read_response(conn: _Conn, request_id: int,
+                   max_frame_bytes: int) -> Any:
+    payload = read_frame(conn.sock, max_frame_bytes)
+    if payload is None:
+        raise ProtocolError("server closed the connection mid-request")
+    response = decode_value(payload)
+    if not isinstance(response, list) or len(response) != 3:
+        raise ProtocolError("malformed response from server")
+    echoed_id, status, body = response
+    if status == STATUS_OK:
+        if echoed_id != request_id:
+            raise ProtocolError(
+                f"response id {echoed_id} != request id {request_id}")
+        return body
+    remote_type, message = (body if isinstance(body, list)
+                            and len(body) == 2 else ("ServerError", str(body)))
+    raise RemoteError(str(remote_type), str(message))

@@ -8,6 +8,7 @@ Mirrors LevelDB's ``ldb``/``leveldbutil`` utilities::
     python -m repro scrub   <directory> <db-name> [--budget N]
     python -m repro repair  <directory> <db-name> [--dry-run]
     python -m repro profile <workload> [--ops N] [--top N]
+    python -m repro serve   <directory> <db-name> [--port P] [--indexes ...]
 
 ``directory`` is a :class:`~repro.lsm.vfs.LocalVFS` root (where the
 database's files live); ``db-name`` is the name it was opened under —
@@ -255,6 +256,65 @@ def cmd_profile(workload: str, ops: int, top: int, out: IO[str]) -> int:
     return 0
 
 
+def cmd_serve(directory: str, name: str, out: IO[str], host: str,
+              port: int, indexes: str | None, sync: bool,
+              max_inflight: int) -> int:
+    """Serve one database over the framed socket protocol (ROADMAP item 1).
+
+    Without ``--indexes`` the database is served raw (keys and values are
+    bytes; the pipeline engine takes every connection's writes straight
+    into group commit).  With ``--indexes attr=kind,...`` it opens as a
+    :class:`~repro.core.database.SecondaryIndexedDB` and also serves
+    LOOKUP/RANGELOOKUP (single-writer: operations serialize server-side).
+
+    Prints ``listening on HOST:PORT`` once the socket is bound; runs until
+    interrupted (Ctrl-C / SIGTERM).
+    """
+    import time as _time
+
+    from repro.server import Server
+
+    if indexes:
+        from repro.core.base import IndexKind
+        from repro.core.database import SecondaryIndexedDB
+
+        index_map = {}
+        for spec in indexes.split(","):
+            attribute, _, kind = spec.partition("=")
+            if not attribute or not kind:
+                out.write(f"bad --indexes entry {spec!r} "
+                          "(want attr=kind)\n")
+                return 2
+            try:
+                index_map[attribute] = IndexKind(kind.lower())
+            except ValueError:
+                choices = ", ".join(k.value for k in IndexKind)
+                out.write(f"unknown index kind {kind!r} "
+                          f"(choose from {choices})\n")
+                return 2
+        db: object = SecondaryIndexedDB.open(
+            LocalVFS(directory), name, indexes=index_map,
+            options=Options(sync_writes=sync))
+        closer = db.close
+    else:
+        db = _open(directory, name,
+                   Options(sync_writes=sync, background_compaction=True))
+        closer = db.close
+    server = Server(db, host=host, port=port, max_inflight=max_inflight)
+    try:
+        bound_host, bound_port = server.start()
+        out.write(f"listening on {bound_host}:{bound_port}\n")
+        out.flush()
+        while True:
+            _time.sleep(0.5)
+    except KeyboardInterrupt:
+        out.write("shutting down\n")
+        return 0
+    finally:
+        server.close()
+        closer()
+
+
 def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
     out = out or sys.stdout
     parser = argparse.ArgumentParser(
@@ -281,6 +341,22 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
                          help="operations to profile (default 2000)")
     profile.add_argument("--top", type=int, default=25,
                          help="functions to print (default 25)")
+    serve = subparsers.add_parser(
+        "serve", help="serve a database over the framed socket protocol")
+    serve.add_argument("directory", help="LocalVFS root directory")
+    serve.add_argument("name", help="database name within the directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7841,
+                       help="TCP port (0 = ephemeral; default 7841)")
+    serve.add_argument("--indexes", default=None, metavar="ATTR=KIND,...",
+                       help="serve a SecondaryIndexedDB with these indexes "
+                            "(e.g. UserID=lazy,Time=composite)")
+    serve.add_argument("--no-sync", dest="sync", action="store_false",
+                       help="acknowledge writes before fsync (faster, "
+                            "riskier)")
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       help="pipelined requests per connection before "
+                            "backpressure (default 32)")
     args = parser.parse_args(argv)
     if args.command == "stats":
         return cmd_stats(args.directory, args.name, out)
@@ -292,4 +368,8 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         return cmd_repair(args.directory, args.name, out, args.dry_run)
     if args.command == "profile":
         return cmd_profile(args.workload, args.ops, args.top, out)
+    if args.command == "serve":
+        return cmd_serve(args.directory, args.name, out, args.host,
+                         args.port, args.indexes, args.sync,
+                         args.max_inflight)
     return cmd_verify(args.directory, args.name, out)

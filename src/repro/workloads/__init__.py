@@ -21,12 +21,18 @@ from repro.workloads.generator import (
     StaticWorkload,
 )
 from repro.workloads.ops import Delete, Get, Lookup, Put, RangeLookup
-from repro.workloads.runner import RunReport, WorkloadRunner
+from repro.workloads.runner import (
+    LatencyRecorder,
+    RunReport,
+    WorkloadRunner,
+    nearest_rank_index,
+)
 from repro.workloads.tweets import SeedProfile, TweetGenerator
 
 __all__ = [
     "Delete",
     "Get",
+    "LatencyRecorder",
     "Lookup",
     "MIXED_RATIOS",
     "MixedWorkload",
@@ -37,4 +43,5 @@ __all__ = [
     "StaticWorkload",
     "TweetGenerator",
     "WorkloadRunner",
+    "nearest_rank_index",
 ]

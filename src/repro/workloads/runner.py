@@ -10,6 +10,7 @@ and 12-15 directly.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -17,6 +18,85 @@ from typing import Iterable
 
 from repro.core.database import SecondaryIndexedDB
 from repro.workloads.ops import Delete, Get, Lookup, Operation, Put, RangeLookup
+
+
+def nearest_rank_index(fraction: float, n: int) -> int:
+    """Index of the nearest-rank percentile in a sorted list of ``n``.
+
+    The nearest-rank definition: the p-th percentile is the smallest
+    value with at least ``p`` of the sample at or below it, i.e. rank
+    ``ceil(fraction * n)`` (1-based).  The naive ``int(fraction * n)``
+    is off by one — p50 of two samples would pick the *larger* — and
+    only the clamp kept p100 in bounds.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    return min(n - 1, max(0, math.ceil(fraction * n) - 1))
+
+
+class LatencyRecorder:
+    """Thread-safe latency accumulator with nearest-rank percentiles.
+
+    One recorder per operation type (or per whatever slice is being
+    measured); many client threads may :meth:`record` into it
+    concurrently.  Shared by :class:`WorkloadRunner` and the server
+    benchmark so every latency number in the repo is computed one way.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seconds: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._seconds.append(seconds)
+
+    def record_many(self, seconds: Iterable[float]) -> None:
+        values = list(seconds)
+        with self._lock:
+            self._seconds.extend(values)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        self.record_many(other.snapshot())
+
+    def snapshot(self) -> list[float]:
+        with self._lock:
+            return list(self._seconds)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._seconds)
+
+    def mean_micros(self) -> float:
+        with self._lock:
+            if not self._seconds:
+                return 0.0
+            return sum(self._seconds) * 1e6 / len(self._seconds)
+
+    def percentile_micros(self, fraction: float) -> float:
+        """Nearest-rank percentile (e.g. ``0.99``) in microseconds."""
+        with self._lock:
+            if not self._seconds:
+                return 0.0
+            ordered = sorted(self._seconds)
+        return ordered[nearest_rank_index(fraction, len(ordered))] * 1e6
+
+    def summary_micros(self,
+                       fractions: tuple[float, ...] = (0.5, 0.99)) -> dict:
+        """``{"count", "mean_micros", "p50_micros", ...}`` in one pass."""
+        with self._lock:
+            ordered = sorted(self._seconds)
+        summary: dict[str, float | int] = {"count": len(ordered)}
+        if not ordered:
+            summary["mean_micros"] = 0.0
+            for fraction in fractions:
+                summary[f"p{round(fraction * 100)}_micros"] = 0.0
+            return summary
+        summary["mean_micros"] = sum(ordered) * 1e6 / len(ordered)
+        for fraction in fractions:
+            summary[f"p{round(fraction * 100)}_micros"] = \
+                ordered[nearest_rank_index(fraction, len(ordered))] * 1e6
+        return summary
 
 
 @dataclass
@@ -89,12 +169,11 @@ class ConcurrentRunReport:
         return self.total_ops / self.wall_seconds
 
     def percentile_micros(self, op_name: str, fraction: float) -> float:
-        """Latency percentile (e.g. ``0.99``) of one op type, microseconds."""
+        """Nearest-rank latency percentile of one op type, microseconds."""
         latencies = sorted(self.latencies_by_op.get(op_name, ()))
         if not latencies:
             return 0.0
-        index = min(len(latencies) - 1, int(fraction * len(latencies)))
-        return latencies[index] * 1e6
+        return latencies[nearest_rank_index(fraction, len(latencies))] * 1e6
 
     def mean_micros(self, op_name: str | None = None) -> float:
         if op_name is None:

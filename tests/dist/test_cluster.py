@@ -217,3 +217,138 @@ class TestGlobalIndexMaintenance:
         assert cluster.total_size() > 0
         assert cluster.global_indexes["UserID"].size_bytes() > 0
         cluster.close()
+
+
+class TestWritePathSequenceAttribution:
+    def test_delete_returns_the_tombstones_own_seq(self):
+        """The GSI deletion marker must carry the tombstone's sequence.
+
+        The old code read ``versions.last_sequence`` after the shard
+        delete returned; a concurrent writer committing on the same shard
+        in that window would stamp the marker with *its* sequence.  The
+        racer below commits inside exactly that window.
+        """
+        cluster = _global_cluster(num_shards=1)
+        cluster.put("k1", {"UserID": "u001"})
+        shard = cluster.data_shards[0]
+        gsi = cluster.global_indexes["UserID"]
+
+        marker_seqs = []
+        real_on_delete = gsi.on_delete
+        gsi.on_delete = lambda key, old, seq: (
+            marker_seqs.append(seq), real_on_delete(key, old, seq))
+
+        racer_seqs = []
+        real_delete = shard.delete
+
+        def racing_delete(key_bytes):
+            seq = real_delete(key_bytes)
+            # A concurrent writer lands on the same shard before the
+            # router gets to look at anything else.
+            racer_seqs.append(shard.put(b"racer", {"UserID": "u002"}))
+            return seq
+
+        shard.delete = racing_delete
+        try:
+            del_seq = cluster.delete("k1")
+        finally:
+            shard.delete = real_delete
+            gsi.on_delete = real_on_delete
+
+        assert racer_seqs and del_seq < racer_seqs[0]
+        assert marker_seqs == [del_seq]
+        assert cluster.lookup("UserID", "u001",
+                              early_termination=False) == []
+        cluster.close()
+
+    def test_put_and_delete_return_monotone_global_seqs(self):
+        cluster = _global_cluster(num_shards=4)
+        seqs = [cluster.put(f"m{i}", {"UserID": "u001"}) for i in range(20)]
+        seqs.extend(cluster.delete(f"m{i}") for i in range(0, 20, 2))
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        cluster.close()
+
+
+class TestGlobalIndexFaultContainment:
+    def _arm_one_fault(self, gsi, method_name):
+        """Make the next ``on_put``/``on_delete`` on the ring raise once."""
+        real = getattr(gsi, method_name)
+        armed = {"on": True}
+
+        def flaky(key, doc, seq):
+            if armed["on"]:
+                armed["on"] = False
+                raise RuntimeError("simulated index-shard outage")
+            real(key, doc, seq)
+
+        setattr(gsi, method_name, flaky)
+        return armed
+
+    def test_mid_put_fault_never_yields_wrong_lookups(self):
+        cluster = _global_cluster()
+        oracle = _apply_random_ops(cluster, seed=401, num_ops=200)
+        gsi = cluster.global_indexes["UserID"]
+        self._arm_one_fault(gsi, "on_put")
+
+        with pytest.raises(RuntimeError, match="outage"):
+            cluster.put("t99998", {"UserID": "u000"})
+        # The record is durable — the data shard committed first — and
+        # the stale ring is flagged rather than silently wrong.
+        assert cluster.get("t99998") == {"UserID": "u000"}
+        assert cluster.dirty_global_indexes() == ["UserID"]
+
+        # Writes while dirty skip the ring (the rebuild replays them).
+        cluster.put("t99999", {"UserID": "u001"})
+        cluster.delete("t99998")
+        assert cluster.dirty_global_indexes() == ["UserID"]
+        oracle.pop("t99998", None)
+        _, t9_seq = cluster._routed_get_with_seq(b"t99999")
+        oracle["t99999"] = ({"UserID": "u001"}, t9_seq)
+
+        # The first query heals the ring; results must match the oracle
+        # exactly — never the pre-fault contents.
+        for user in ("u000", "u001", "u007"):
+            results = cluster.lookup("UserID", user,
+                                     early_termination=False)
+            expected = [key for _seq, key in _oracle_lookup(oracle, user)]
+            assert [r.key for r in results] == expected, user
+        assert cluster.dirty_global_indexes() == []
+        cluster.close()
+
+    def test_mid_delete_fault_is_contained_and_healed(self):
+        cluster = _global_cluster(num_shards=2)
+        for i in range(10):
+            cluster.put(f"d{i}", {"UserID": "u001"})
+        gsi = cluster.global_indexes["UserID"]
+        self._arm_one_fault(gsi, "on_delete")
+
+        with pytest.raises(RuntimeError, match="outage"):
+            cluster.delete("d3")
+        assert cluster.get("d3") is None  # tombstone committed
+        assert cluster.dirty_global_indexes() == ["UserID"]
+
+        healed = cluster.heal_indexes()
+        assert healed["global:UserID"] == 9
+        assert cluster.dirty_global_indexes() == []
+        keys = {r.key for r in cluster.lookup("UserID", "u001",
+                                              early_termination=False)}
+        assert keys == {f"d{i}" for i in range(10) if i != 3}
+        cluster.close()
+
+    def test_explicit_rebuild_matches_scratch_ring(self):
+        cluster = _global_cluster()
+        oracle = _apply_random_ops(cluster, seed=402, num_ops=300)
+        replayed = cluster.rebuild_global_index("UserID")
+        assert replayed == len(oracle)
+        for user in ("u000", "u004", "u011"):
+            expected = [key for _seq, key in _oracle_lookup(oracle, user)]
+            results = cluster.lookup("UserID", user, early_termination=False)
+            assert [r.key for r in results] == expected
+        cluster.close()
+
+    def test_rebuild_unknown_attribute_rejected(self):
+        cluster = _global_cluster()
+        with pytest.raises(InvalidArgumentError):
+            cluster.rebuild_global_index("Nope")
+        cluster.close()

@@ -1,0 +1,221 @@
+"""Wire-format unit tests: codec round trips, framing, torn/oversized."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.server.protocol import (
+    FrameTooLargeError,
+    ProtocolError,
+    TornFrameError,
+    decode_value,
+    encode_frame,
+    encode_value,
+    read_frame,
+    recv_exact,
+    write_frame,
+)
+
+
+# -- value codec -------------------------------------------------------------
+
+ROUND_TRIP_VALUES = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    63,
+    64,
+    -64,
+    -65,
+    2**40,
+    -(2**40),
+    2**63 - 1,
+    -(2**63),
+    0.0,
+    -2.5,
+    1e300,
+    b"",
+    b"\x00\xff" * 10,
+    "",
+    "héllo ☃",
+    [],
+    [1, "two", b"three", None, [True]],
+    {},
+    {"a": 1, "b": [2, 3], "c": {"d": None}},
+    {b"bytes-key": "ok", 7: "int-key"},
+    [0, 1, {"nested": [b"deep", {"deeper": -9}]}],
+]
+
+
+@pytest.mark.parametrize("value", ROUND_TRIP_VALUES,
+                         ids=[repr(v)[:40] for v in ROUND_TRIP_VALUES])
+def test_codec_round_trip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+def test_codec_distinguishes_bool_from_int():
+    assert decode_value(encode_value(True)) is True
+    assert decode_value(encode_value(1)) == 1
+    assert decode_value(encode_value(1)) is not True
+
+
+def test_codec_rejects_unencodable_type():
+    with pytest.raises(ProtocolError, match="cannot encode"):
+        encode_value(object())
+
+
+def test_codec_rejects_out_of_range_int():
+    # Fails on the sender, not as a poisoned stream on the peer.
+    for value in (2**63, -(2**63) - 1, 2**80):
+        with pytest.raises(ProtocolError, match="64-bit"):
+            encode_value(value)
+
+
+def test_decode_rejects_trailing_bytes():
+    with pytest.raises(ProtocolError, match="trailing"):
+        decode_value(encode_value(1) + b"\x00")
+
+
+def test_decode_rejects_empty_and_truncated():
+    with pytest.raises(ProtocolError):
+        decode_value(b"")
+    payload = encode_value({"key": [1, 2, 3], "other": b"abcdef"})
+    for cut in range(1, len(payload)):
+        with pytest.raises(ProtocolError):
+            decode_value(payload[:cut])
+
+
+def test_decode_rejects_unknown_tag():
+    with pytest.raises(ProtocolError, match="unknown type tag"):
+        decode_value(b"\x7f")
+
+
+def test_decode_rejects_length_past_end():
+    # A bytes value claiming more content than the payload holds.
+    bogus = bytes([0x05]) + encode_value(2**20)[1:]  # BYTES, length 2**20
+    with pytest.raises(ProtocolError):
+        decode_value(bogus)
+
+
+# -- framing over real sockets -----------------------------------------------
+
+def _pair() -> tuple[socket.socket, socket.socket]:
+    left, right = socket.socketpair()
+    left.settimeout(5)
+    right.settimeout(5)
+    return left, right
+
+
+def test_frame_round_trip():
+    left, right = _pair()
+    try:
+        write_frame(left, b"hello")
+        assert read_frame(right) == b"hello"
+        write_frame(left, b"")
+        assert read_frame(right) == b""
+    finally:
+        left.close()
+        right.close()
+
+
+def test_many_frames_one_stream():
+    left, right = _pair()
+    payloads = [encode_value([i, "op", b"x" * i]) for i in range(50)]
+    try:
+        left.sendall(b"".join(encode_frame(p) for p in payloads))
+        for expected in payloads:
+            assert read_frame(right) == expected
+    finally:
+        left.close()
+        right.close()
+
+
+def test_clean_eof_returns_none():
+    left, right = _pair()
+    try:
+        left.close()
+        assert read_frame(right) is None
+    finally:
+        right.close()
+
+
+def test_torn_header_raises():
+    left, right = _pair()
+    try:
+        left.sendall(b"\x00\x00")  # half a length prefix
+        left.close()
+        with pytest.raises(TornFrameError):
+            read_frame(right)
+    finally:
+        right.close()
+
+
+def test_torn_payload_raises():
+    left, right = _pair()
+    try:
+        left.sendall(struct.pack(">I", 100) + b"only-part")
+        left.close()
+        with pytest.raises(TornFrameError):
+            read_frame(right)
+    finally:
+        right.close()
+
+
+def test_header_then_eof_raises_torn():
+    left, right = _pair()
+    try:
+        left.sendall(struct.pack(">I", 8))
+        left.close()
+        with pytest.raises(TornFrameError):
+            read_frame(right)
+    finally:
+        right.close()
+
+
+def test_oversized_frame_rejected_without_reading_payload():
+    left, right = _pair()
+    try:
+        # Only the header is sent; the reader must reject from the header
+        # alone rather than wait for (or allocate) the declared payload.
+        left.sendall(struct.pack(">I", 2**31))
+        with pytest.raises(FrameTooLargeError):
+            read_frame(right, max_frame_bytes=1024)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_frame_at_limit_accepted():
+    left, right = _pair()
+    payload = b"z" * 1024
+    try:
+        done = threading.Event()
+
+        def sender():
+            left.sendall(encode_frame(payload))
+            done.set()
+
+        thread = threading.Thread(target=sender)
+        thread.start()
+        assert read_frame(right, max_frame_bytes=1024) == payload
+        done.wait(5)
+        thread.join(5)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_recv_exact_zero_length():
+    left, right = _pair()
+    try:
+        assert recv_exact(right, 0) == b""
+    finally:
+        left.close()
+        right.close()

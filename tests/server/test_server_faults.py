@@ -1,0 +1,121 @@
+"""Kill the server mid-write; acked writes must survive the restart.
+
+The serving layer's durability contract is end-to-end: a client that got
+an OK response holds a write that survives power loss, because with
+``sync_writes=True`` the response is only sent after the group commit's
+fsync.  The drill runs real clients against a server whose VFS blows a
+fuse mid-run (:class:`FaultInjectingVFS`), takes the post-crash disk
+image, reopens it, and audits: every acked write present, nothing
+phantom, integrity clean.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+from repro.lsm.db import DB
+from repro.lsm.faults import FaultInjectingVFS
+from repro.lsm.options import Options
+from repro.server import Client, RemoteError, Server
+
+CLIENTS = 4
+OPS_PER_CLIENT = 30
+
+
+def _run_drill(at_op: int):
+    """Returns (vfs, acked, server_survived)."""
+    vfs = FaultInjectingVFS()
+    opts = Options(background_compaction=True, sync_writes=True,
+                   memtable_budget=4096, l0_compaction_trigger=2)
+    db = DB.open(vfs, "db", opts)
+    # Arm the fuse only once the server is the one mutating the disk:
+    # ``at_op`` counts mutating ops from the start of serving.
+    vfs.schedule_crash(vfs.op_count + at_op)
+    server = Server(db)
+    host, port = server.start()
+
+    acked: list[tuple[bytes, bytes]] = []
+    acked_lock = threading.Lock()
+
+    def client_main(cid: int) -> None:
+        with contextlib.suppress(OSError):
+            with Client(host, port, pool_size=1) as client:
+                for i in range(OPS_PER_CLIENT):
+                    key = b"f%d-%03d" % (cid, i)
+                    value = b"v%d-%03d" % (cid, i)
+                    try:
+                        client.put(key, value)
+                    except RemoteError:
+                        # The engine hit the fuse: from here on writes
+                        # fail, but each failure is a clean error
+                        # response — never a silent half-ack.
+                        continue
+                    with acked_lock:
+                        acked.append((key, value))
+
+    threads = [threading.Thread(target=client_main, args=(cid,))
+               for cid in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "client wedged after the crash"
+
+    # The *server* must survive the engine's death: still answering.
+    survived = True
+    try:
+        with Client(host, port, pool_size=1, timeout=10) as probe:
+            probe.stats()
+    except (OSError, RemoteError):
+        survived = False
+
+    server.close()
+    with contextlib.suppress(Exception):
+        db.close()
+    return vfs, acked, survived
+
+
+def _check_restart(vfs, acked):
+    image = vfs.crash_image("drop")
+    db = DB.open(image, "db", Options())
+    try:
+        report = db.verify_integrity()
+        assert report.ok, report
+        recovered = dict(db.scan())
+    finally:
+        db.close()
+    for key, value in acked:
+        assert recovered.get(key) == value, f"lost acked write {key!r}"
+    for key, value in recovered.items():
+        cid, i = key.decode().lstrip("f").split("-")
+        assert value == b"v%d-%03d" % (int(cid), int(i)), \
+            f"phantom data {key!r}"
+
+
+def test_acked_writes_survive_kill_mid_write():
+    crashed_runs = 0
+    for at_op in (5, 17, 40, 90, 160):
+        vfs, acked, survived = _run_drill(at_op)
+        assert survived, f"server died with the engine (at_op={at_op})"
+        if vfs.crashed:
+            crashed_runs += 1
+            assert len(acked) < CLIENTS * OPS_PER_CLIENT
+        else:
+            assert len(acked) == CLIENTS * OPS_PER_CLIENT
+        _check_restart(vfs, acked)
+    assert crashed_runs >= 3, "fuse lengths need retuning"
+
+
+def test_no_acks_after_crash():
+    """Once the fuse blows, no later write is ever acked (no false
+    durability promises from a dying engine)."""
+    vfs, acked, _survived = _run_drill(at_op=10)
+    assert vfs.crashed
+    image = vfs.crash_image("drop")
+    db = DB.open(image, "db", Options())
+    try:
+        recovered = dict(db.scan())
+    finally:
+        db.close()
+    assert set(key for key, _v in acked) <= set(recovered)

@@ -7,7 +7,11 @@ from repro.core.database import SecondaryIndexedDB
 from repro.lsm.options import Options
 from repro.workloads.generator import MIXED_RATIOS, MixedWorkload
 from repro.workloads.ops import Delete, Get, Lookup, Put, RangeLookup
-from repro.workloads.runner import WorkloadRunner
+from repro.workloads.runner import (
+    LatencyRecorder,
+    WorkloadRunner,
+    nearest_rank_index,
+)
 
 
 @pytest.fixture
@@ -148,3 +152,74 @@ class TestConcurrentRunner:
             assert report.op_counts == {"put": 1}
         finally:
             db.close()
+
+
+class TestNearestRankIndex:
+    def test_p50_of_two_samples_is_the_lower(self):
+        # The regression this pins: ``int(0.5 * 2)`` is 1 (the larger
+        # sample); nearest rank says ceil(0.5 * 2) = rank 1, index 0.
+        assert nearest_rank_index(0.5, 2) == 0
+        recorder = LatencyRecorder()
+        recorder.record_many([2e-6, 1e-6])
+        assert recorder.percentile_micros(0.5) == pytest.approx(1.0)
+
+    def test_textbook_ranks(self):
+        assert nearest_rank_index(0.5, 1) == 0
+        assert nearest_rank_index(0.5, 4) == 1
+        assert nearest_rank_index(0.5, 5) == 2
+        assert nearest_rank_index(0.25, 4) == 0
+        assert nearest_rank_index(0.99, 100) == 98
+        assert nearest_rank_index(0.99, 10) == 9
+        assert nearest_rank_index(1.0, 7) == 6
+        assert nearest_rank_index(0.001, 100) == 0
+
+    def test_rejects_out_of_range_fractions(self):
+        for fraction in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                nearest_rank_index(fraction, 10)
+
+
+class TestLatencyRecorder:
+    def test_percentiles_and_mean(self):
+        recorder = LatencyRecorder()
+        recorder.record_many(s * 1e-6 for s in range(100, 0, -1))
+        assert len(recorder) == 100
+        assert recorder.percentile_micros(0.5) == pytest.approx(50.0)
+        assert recorder.percentile_micros(0.99) == pytest.approx(99.0)
+        assert recorder.percentile_micros(1.0) == pytest.approx(100.0)
+        assert recorder.mean_micros() == pytest.approx(50.5)
+
+    def test_empty_recorder_reports_zero(self):
+        recorder = LatencyRecorder()
+        assert recorder.mean_micros() == 0.0
+        assert recorder.percentile_micros(0.99) == 0.0
+        assert recorder.summary_micros() == {
+            "count": 0, "mean_micros": 0.0,
+            "p50_micros": 0.0, "p99_micros": 0.0}
+
+    def test_merge_and_summary(self):
+        left, right = LatencyRecorder(), LatencyRecorder()
+        left.record(1e-6)
+        right.record(3e-6)
+        left.merge(right)
+        summary = left.summary_micros()
+        assert summary["count"] == 2
+        assert summary["mean_micros"] == pytest.approx(2.0)
+        assert summary["p50_micros"] == pytest.approx(1.0)
+        assert summary["p99_micros"] == pytest.approx(3.0)
+
+    def test_concurrent_recording(self):
+        import threading
+
+        recorder = LatencyRecorder()
+
+        def worker():
+            for _ in range(500):
+                recorder.record(1e-6)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(recorder) == 2000
