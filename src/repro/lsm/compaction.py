@@ -17,6 +17,13 @@ postings list ... is merged later, during the periodic compaction phase").
 
 Live snapshots suppress folding and dropping conservatively: correctness
 first, space later.
+
+The merge pipeline itself (stream -> group -> keep/fold/elide -> cut into
+output files) is module-level and parameterised, not a method of
+:class:`Compactor`: compaction worker *processes*
+(:mod:`repro.lsm.procpool`) execute exactly the same code over their own
+VFS handles, which is what makes worker output byte-identical to inline
+output by construction rather than by parallel maintenance.
 """
 
 from __future__ import annotations
@@ -142,6 +149,12 @@ class Compactor:
         # that defers deletion while any pinned version still reads them.
         self._retire_files = retire_files or self._retire_files_now
         self.stats = CompactionStats()
+        # When set (a ProcessCompactionExecutor), compactions are shipped to
+        # worker processes; the coordinator still applies the version edit
+        # and retires inputs locally, so stall/crash semantics are shared
+        # with the inline path.  Flushes never dispatch: they read the live
+        # MemTable, which exists only in this process.
+        self.executor = None
 
     def _step(self, label: str) -> None:
         hook = self.options.step_hook
@@ -220,23 +233,60 @@ class Compactor:
     def run(self, compaction: Compaction) -> list[FileMetaData]:
         """Merge the input files into new files at the output level."""
         oldest_snapshot = self._oldest_snapshot_seq()
+        if self.executor is not None and self.options.step_hook is None:
+            return self._run_remote(compaction, oldest_snapshot)
+        return self._run_inline(compaction, oldest_snapshot)
+
+    def _run_inline(self, compaction: Compaction,
+                    oldest_snapshot: int) -> list[FileMetaData]:
         base_version = self.versions.current
         streams = []
         for _level, meta in compaction.input_files():
             table = self.table_cache.get(meta.file_number)
-            streams.append(_table_stream(table))
-        merged = merge_streams(streams)
+            streams.append(table_entry_stream(table))
 
         outputs: list[FileMetaData] = []
         self._step("compact:merge")
-        writer = _OutputWriter(self, compaction.output_level, outputs)
-        for user_key, group in _group_by_user_key(merged):
-            kept = self._process_group(
-                user_key, group, oldest_snapshot, compaction, base_version)
-            for ikey, value in kept:
-                writer.add(ikey, value)
-        writer.finish()
 
+        def open_output():
+            file_number = self.versions.new_file_number()
+            name = table_file_name(self.db_name, file_number)
+            return file_number, self.vfs.create(name), None
+
+        writer = CompactionOutputWriter(
+            self.options, open_output, outputs,
+            on_output=lambda: self._step("compact:output"))
+        merge_entry_streams(
+            self.options, streams, oldest_snapshot,
+            lambda user_key: self._is_base_level(
+                user_key, compaction, base_version),
+            writer, self.stats)
+        return self._install_outputs(compaction, outputs)
+
+    def _run_remote(self, compaction: Compaction,
+                    oldest_snapshot: int) -> list[FileMetaData]:
+        """Ship the merge to a worker process; install its result locally.
+
+        The worker returns manifest-ready :class:`FileMetaData` documents;
+        the version edit, retirement and stall interactions run through
+        exactly the same code as the inline path, so crash semantics are
+        unchanged — a job that dies installs nothing and its partial
+        outputs are deleted by the executor.
+        """
+        base_version = self.versions.current
+        job = build_compaction_job(
+            self.db_name, compaction, base_version, oldest_snapshot,
+            self.options)
+        self._step("compact:merge")
+        result = self.executor.run_job(
+            job, allocate=self.versions.new_file_number)
+        outputs = [FileMetaData.from_json(doc) for doc in result["outputs"]]
+        self.stats.entries_dropped += result.get("entries_dropped", 0)
+        self.stats.merges_folded += result.get("merges_folded", 0)
+        return self._install_outputs(compaction, outputs)
+
+    def _install_outputs(self, compaction: Compaction,
+                         outputs: list[FileMetaData]) -> list[FileMetaData]:
         edit = VersionEdit()
         for level, meta in compaction.input_files():
             edit.delete_file(level, meta.file_number)
@@ -259,56 +309,6 @@ class Compactor:
         self.stats.bytes_compacted_out += sum(m.file_size for m in outputs)
         return outputs
 
-    def _process_group(self, user_key: bytes,
-                       group: list[tuple[InternalKey, bytes]],
-                       oldest_snapshot: int, compaction: Compaction,
-                       base_version: Version) -> list[tuple[InternalKey, bytes]]:
-        """Decide which versions of one user key survive the merge."""
-        kept: list[tuple[InternalKey, bytes]] = []
-        for ikey, value in group:
-            kept.append((ikey, value))
-            # A non-merge entry visible to every snapshot shadows all older
-            # versions; merge operands never shadow (they need their base).
-            if ikey.kind != KIND_MERGE and ikey.seq <= oldest_snapshot:
-                break
-        self.stats.entries_dropped += len(group) - len(kept)
-
-        if oldest_snapshot != MAX_SEQUENCE:
-            # Live snapshots: be conservative — no folding, no elision.
-            return kept
-
-        is_base = self._is_base_level(user_key, compaction, base_version)
-        operands = [value for ikey, value in kept if ikey.kind == KIND_MERGE]
-        if operands:
-            base_entry = kept[-1] if kept[-1][0].kind != KIND_MERGE else None
-            newest_seq = kept[0][0].seq
-            folded = self._fold(user_key, operands, base_entry)
-            self.stats.merges_folded += len(operands)
-            if base_entry is not None or is_base:
-                # A base was present in the inputs (or cannot exist deeper):
-                # the fold is a full merge and becomes a plain value.
-                kept = [(InternalKey(user_key, newest_seq, KIND_VALUE), folded)]
-            else:
-                # No base in sight and deeper levels may hold one: emit a
-                # single combined operand (partial merge — requires the
-                # operator to be associative, which posting-list union is).
-                kept = [(InternalKey(user_key, newest_seq, KIND_MERGE), folded)]
-        if (len(kept) == 1 and kept[0][0].kind == KIND_DELETE and is_base):
-            self.stats.entries_dropped += 1
-            return []
-        return kept
-
-    def _fold(self, user_key: bytes, operands_newest_first: list[bytes],
-              base_entry: tuple[InternalKey, bytes] | None) -> bytes | None:
-        operator = self.options.merge_operator
-        if operator is None:
-            raise InvalidArgumentError(
-                "merge entries present but no merge_operator configured")
-        oldest_first = list(reversed(operands_newest_first))
-        if base_entry is not None and base_entry[0].kind == KIND_VALUE:
-            oldest_first.insert(0, base_entry[1])
-        return operator(user_key, oldest_first)
-
     def _is_base_level(self, user_key: bytes, compaction: Compaction,
                        base_version: Version) -> bool:
         """No level deeper than the output could contain ``user_key``."""
@@ -319,7 +319,137 @@ class Compactor:
         return True
 
 
-def _table_stream(table):
+def build_compaction_job(db_name: str, compaction: Compaction,
+                         base_version: Version, oldest_snapshot: int,
+                         options) -> dict:
+    """The JSON-safe job description a worker process merges from.
+
+    Everything a worker needs that is not already on disk: the input file
+    metadata (levels + manifest documents), the snapshot horizon, and — so
+    the worker can evaluate the tombstone-elision predicate without the
+    coordinator's :class:`Version` — the user-key bounds of every file in
+    levels deeper than the output.  The executor stamps in the VFS root,
+    the options snapshot and the shared-cache name before dispatch.
+    """
+    deeper_bounds = []
+    for level in range(compaction.output_level + 1, options.max_levels):
+        files = base_version.levels[level]
+        if files:
+            deeper_bounds.append([level, [
+                [meta.smallest_user_key.hex(), meta.largest_user_key.hex()]
+                for meta in files]])
+    return {
+        "db_name": db_name,
+        "level": compaction.level,
+        "output_level": compaction.output_level,
+        "inputs": [[level, meta.to_json()]
+                   for level, meta in compaction.input_files()],
+        "deeper_bounds": deeper_bounds,
+        "oldest_snapshot": oldest_snapshot,
+    }
+
+
+def bounds_base_predicate(deeper_bounds):
+    """``is_base(user_key)`` from serialized deeper-level key bounds.
+
+    Levels >= 1 are sorted and disjoint, so containment is one bisect per
+    level — the same binary search :meth:`Version.files_containing_key`
+    performs, evaluated against shipped bounds instead of live metadata.
+    """
+    from bisect import bisect_left
+
+    levels = []
+    for _level, pairs in deeper_bounds:
+        bounds = [(bytes.fromhex(lo), bytes.fromhex(hi)) for lo, hi in pairs]
+        levels.append((bounds, [hi for _lo, hi in bounds]))
+
+    def is_base(user_key: bytes) -> bool:
+        for bounds, largests in levels:
+            index = bisect_left(largests, user_key)
+            if index < len(bounds) and bounds[index][0] <= user_key:
+                return False
+        return True
+
+    return is_base
+
+
+def process_key_group(options, user_key: bytes,
+                      group: list[tuple[InternalKey, bytes]],
+                      oldest_snapshot: int, is_base_of,
+                      stats: CompactionStats
+                      ) -> list[tuple[InternalKey, bytes]]:
+    """Decide which versions of one user key survive the merge.
+
+    ``is_base_of(user_key)`` answers "could no level deeper than the output
+    contain this key?" — the tombstone-elision and full-fold predicate.
+    """
+    kept: list[tuple[InternalKey, bytes]] = []
+    for ikey, value in group:
+        kept.append((ikey, value))
+        # A non-merge entry visible to every snapshot shadows all older
+        # versions; merge operands never shadow (they need their base).
+        if ikey.kind != KIND_MERGE and ikey.seq <= oldest_snapshot:
+            break
+    stats.entries_dropped += len(group) - len(kept)
+
+    if oldest_snapshot != MAX_SEQUENCE:
+        # Live snapshots: be conservative — no folding, no elision.
+        return kept
+
+    is_base = is_base_of(user_key)
+    operands = [value for ikey, value in kept if ikey.kind == KIND_MERGE]
+    if operands:
+        base_entry = kept[-1] if kept[-1][0].kind != KIND_MERGE else None
+        newest_seq = kept[0][0].seq
+        folded = fold_operands(options, user_key, operands, base_entry)
+        stats.merges_folded += len(operands)
+        if base_entry is not None or is_base:
+            # A base was present in the inputs (or cannot exist deeper):
+            # the fold is a full merge and becomes a plain value.
+            kept = [(InternalKey(user_key, newest_seq, KIND_VALUE), folded)]
+        else:
+            # No base in sight and deeper levels may hold one: emit a
+            # single combined operand (partial merge — requires the
+            # operator to be associative, which posting-list union is).
+            kept = [(InternalKey(user_key, newest_seq, KIND_MERGE), folded)]
+    if (len(kept) == 1 and kept[0][0].kind == KIND_DELETE and is_base):
+        stats.entries_dropped += 1
+        return []
+    return kept
+
+
+def fold_operands(options, user_key: bytes,
+                  operands_newest_first: list[bytes],
+                  base_entry: tuple[InternalKey, bytes] | None
+                  ) -> bytes | None:
+    operator = options.merge_operator
+    if operator is None:
+        raise InvalidArgumentError(
+            "merge entries present but no merge_operator configured")
+    oldest_first = list(reversed(operands_newest_first))
+    if base_entry is not None and base_entry[0].kind == KIND_VALUE:
+        oldest_first.insert(0, base_entry[1])
+    return operator(user_key, oldest_first)
+
+
+def merge_entry_streams(options, streams, oldest_snapshot: int, is_base_of,
+                        writer: "CompactionOutputWriter",
+                        stats: CompactionStats) -> None:
+    """The whole merge loop: k-way merge, per-key policy, output cutting.
+
+    This is the function both the inline compactor and worker processes
+    run; byte identity of their outputs follows from sharing it.
+    """
+    merged = merge_streams(streams)
+    for user_key, group in _group_by_user_key(merged):
+        kept = process_key_group(options, user_key, group, oldest_snapshot,
+                                 is_base_of, stats)
+        for ikey, value in kept:
+            writer.add(ikey, value)
+    writer.finish()
+
+
+def table_entry_stream(table):
     """Entry stream over a whole table, charged as compaction I/O."""
     from repro.lsm.keys import unpack_internal_key
 
@@ -344,14 +474,23 @@ def _group_by_user_key(merged):
         yield current_key, group
 
 
-class _OutputWriter:
-    """Cuts compaction output into files of ``sstable_target_size``."""
+class CompactionOutputWriter:
+    """Cuts compaction output into files of ``sstable_target_size``.
 
-    def __init__(self, compactor: Compactor, output_level: int,
-                 outputs: list[FileMetaData]) -> None:
-        self.compactor = compactor
-        self.output_level = output_level
+    ``open_output()`` supplies each file: it returns ``(file_number,
+    writable, block_observer)``.  Inline that is a local allocation +
+    ``vfs.create``; in a worker it is an allocation round-trip over the
+    coordinator pipe plus a shared-cache pre-warm observer.  Everything
+    else — cut threshold, sync-before-install, metadata assembly — is
+    common, which the byte-identity guarantee rides on.
+    """
+
+    def __init__(self, options, open_output,
+                 outputs: list[FileMetaData], on_output=None) -> None:
+        self.options = options
+        self.open_output = open_output
         self.outputs = outputs
+        self.on_output = on_output
         self._builder: TableBuilder | None = None
         self._out = None
         self._file_number = 0
@@ -362,19 +501,17 @@ class _OutputWriter:
         assert self._builder is not None
         self._builder.add(ikey.encode(), value)
         if self._builder.estimated_file_size >= \
-                self.compactor.options.sstable_target_size:
+                self.options.sstable_target_size:
             self._close()
 
     def _open(self) -> None:
         from repro.lsm.compression import compressor_for
 
-        self._file_number = self.compactor.versions.new_file_number()
-        name = table_file_name(self.compactor.db_name, self._file_number)
-        self._out = self.compactor.vfs.create(name)
+        self._file_number, self._out, observer = self.open_output()
         self._builder = TableBuilder(
-            self.compactor.options, self._out,
-            compressor_for(self.compactor.options.compression),
-            Category.COMPACTION)
+            self.options, self._out,
+            compressor_for(self.options.compression),
+            Category.COMPACTION, block_observer=observer)
 
     def _close(self) -> None:
         if self._builder is None:
@@ -394,7 +531,22 @@ class _OutputWriter:
         ))
         self._builder = None
         self._out = None
-        self.compactor._step("compact:output")
+        if self.on_output is not None:
+            self.on_output()
+
+    def abort(self) -> None:
+        """Close the in-flight output handle without finishing the table.
+
+        Failure path only: the worker calls this before reporting a failed
+        job so the coordinator can delete every allocated output file.
+        """
+        if self._out is not None:
+            try:
+                self._out.close()
+            except (OSError, ValueError):
+                pass
+        self._builder = None
+        self._out = None
 
     def finish(self) -> None:
         self._close()

@@ -36,6 +36,7 @@ from __future__ import annotations
 import errno
 import heapq
 import logging
+import os
 import threading
 import time
 from collections import deque
@@ -232,6 +233,21 @@ class PipelineStats:
     bg_compactions: int = 0        # compactions run by the thread
 
 
+def _requested_compaction_processes(options: Options) -> tuple[int, bool]:
+    """``(worker_count, came_from_env)`` for multiprocess compaction.
+
+    ``Options.compaction_processes`` wins; when it is 0 the
+    ``REPRO_COMPACTION_PROCESSES`` environment variable can opt a whole
+    test run in without touching call sites (the CI multiprocess job).
+    """
+    if options.compaction_processes > 0:
+        return options.compaction_processes, False
+    raw = os.environ.get("REPRO_COMPACTION_PROCESSES", "")
+    if raw.isdigit() and int(raw) > 0:
+        return int(raw), True
+    return 0, False
+
+
 class DB:
     """A LevelDB-style LSM key-value store over a metered VFS."""
 
@@ -277,6 +293,31 @@ class DB:
             vfs, name, options, self.versions, self.table_cache,
             self._log_and_apply, self._oldest_snapshot_seq,
             retire_files=self._retire_table_files)
+        # -- multiprocess compaction (DESIGN.md §11) ------------------------
+        self._shm_cache = None
+        self._executor = None
+        processes, from_env = _requested_compaction_processes(options)
+        if processes > 0 and options.step_hook is None \
+                and getattr(vfs, "root", None) is not None:
+            from repro.lsm.procpool import create_executor
+
+            if options.shm_cache_bytes > 0:
+                from repro.lsm.shmcache import (
+                    SharedBlockCache,
+                    slot_payload_bytes,
+                )
+
+                self._shm_cache = SharedBlockCache.create(
+                    options.shm_cache_bytes, slot_payload_bytes(options))
+                # Before _recover(): tables opened later must see the
+                # layered cache.
+                self.table_cache.attach_shared_cache(self._shm_cache)
+            self._executor = create_executor(
+                vfs, name, options, processes,
+                shm_name=(self._shm_cache.name
+                          if self._shm_cache is not None else None),
+                discard=self._discard_worker_outputs, quiet=from_env)
+            self.compactor.executor = self._executor
         self._recover()
         self._pending_seq = self.versions.last_sequence
         if self._bg:
@@ -415,6 +456,12 @@ class DB:
                         hook("close:join")
             self._bg_thread.join()
             self._bg_thread = None
+        if self._executor is not None:
+            # Bounded shutdown: quit messages, then join-with-timeout, then
+            # terminate/kill — a dead or wedged worker cannot hang close().
+            self._executor.close()
+            self._executor = None
+            self.compactor.executor = None
         if self._log is not None:
             # A clean shutdown must not lose acknowledged writes even with
             # sync_writes off: push the WAL tail to stable storage first.
@@ -431,6 +478,9 @@ class DB:
         if self._manifest is not None:
             self._manifest.close()
         self.table_cache.close()
+        if self._shm_cache is not None:
+            self._shm_cache.close()  # owner: unlinks the segment
+            self._shm_cache = None
         self._closed = True
 
     def __enter__(self) -> "DB":
@@ -1018,6 +1068,21 @@ class DB:
                 else:
                     self.table_cache.evict(file_number)
                     self.vfs.delete(table_file_name(self.name, file_number))
+
+    def _discard_worker_outputs(self, file_numbers: list[int]) -> None:
+        """Delete the partial outputs of a failed worker compaction job.
+
+        These files were allocated numbers but never entered any version,
+        so there are no pins to honor — they must simply not survive as
+        orphans for ``verify_integrity`` to flag.  Poisoned shared-cache
+        blocks keyed by a reused file number would serve wrong bytes, so
+        the shm slots go too.
+        """
+        for file_number in file_numbers:
+            self.table_cache.evict(file_number)
+            if self._shm_cache is not None:
+                self._shm_cache.evict_file(file_number)
+            self.vfs.delete_if_exists(table_file_name(self.name, file_number))
 
     # -- snapshot-isolated read state -------------------------------------------
 
@@ -1956,6 +2021,10 @@ class DB:
                 "bg_compactions": pipeline.bg_compactions,
                 "bg_error": (None if self._bg_error is None
                              else repr(self._bg_error)),
+                "workers": (None if self._executor is None
+                            else self._executor.stats()),
+                "shm_cache": (None if self._shm_cache is None
+                              else self._shm_cache.stats_dict()),
             }
 
     def level_file_counts(self) -> list[int]:

@@ -53,6 +53,8 @@ keeps working.
 
 from __future__ import annotations
 
+import os
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.lsm.errors import (
@@ -487,3 +489,123 @@ def run_until_crash(workload: Workload, at_op: int) -> FaultInjectingVFS:
     except SimulatedCrashError:
         pass
     return vfs
+
+
+# -- worker-process fault plumbing -------------------------------------------
+
+
+@dataclass
+class FaultPlan:
+    """A predetermined fault schedule small enough to ship to a worker.
+
+    :class:`FaultInjectingVFS` is interactive — tests arm it call by call —
+    but a compaction worker process only ever receives one serialized job,
+    so its faults must be decided up front.  Counters count *mutating*
+    operations (appends, deletes, renames) against the wrapped VFS:
+
+    ``fail_write_at``
+        the N-th mutating op raises :class:`FaultInjectedError` (EIO).
+    ``enospc_at``
+        from the N-th mutating op onward, space-consuming ops raise
+        :class:`OutOfSpaceError`.
+    ``exit_at``
+        the worker dies with ``os._exit(1)`` at the N-th mutating op — no
+        exception propagation, no cleanup handlers: the SIGKILL-equivalent
+        the coordinator's crash handling must absorb.
+    """
+
+    fail_write_at: int | None = None
+    enospc_at: int | None = None
+    exit_at: int | None = None
+
+    def to_json(self) -> dict:
+        return {"fail_write_at": self.fail_write_at,
+                "enospc_at": self.enospc_at,
+                "exit_at": self.exit_at}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FaultPlan":
+        return cls(fail_write_at=doc.get("fail_write_at"),
+                   enospc_at=doc.get("enospc_at"),
+                   exit_at=doc.get("exit_at"))
+
+
+class PlannedFaultVFS(VFS):
+    """Wrap any VFS and execute a :class:`FaultPlan` against it.
+
+    Unlike :class:`FaultInjectingVFS` (a self-contained memory filesystem
+    with crash imaging), this is a thin pass-through: it exists so worker
+    processes can run real :class:`~repro.lsm.vfs.LocalVFS` I/O with
+    deterministic faults injected mid-compaction.  Reads are never faulted
+    here — read-fault drills stay in the coordinator where the containment
+    machinery lives.
+    """
+
+    def __init__(self, base: VFS, plan: FaultPlan) -> None:
+        super().__init__()
+        self.base = base
+        self.stats = base.stats
+        self.plan = plan
+        self.mutations = 0
+
+    def _mutate(self, space_consuming: bool) -> None:
+        self.mutations += 1
+        plan = self.plan
+        if plan.exit_at is not None and self.mutations >= plan.exit_at:
+            os._exit(1)
+        if plan.fail_write_at is not None \
+                and self.mutations == plan.fail_write_at:
+            raise FaultInjectedError(
+                f"planned write fault at mutating op {self.mutations}")
+        if plan.enospc_at is not None and space_consuming \
+                and self.mutations >= plan.enospc_at:
+            raise OutOfSpaceError(
+                f"planned disk-full at mutating op {self.mutations}")
+
+    def create(self, name: str) -> WritableFile:
+        self._mutate(space_consuming=True)
+        return _PlannedWritable(self, self.base.create(name))
+
+    def open_random(self, name: str) -> RandomAccessFile:
+        return self.base.open_random(name)
+
+    def exists(self, name: str) -> bool:
+        return self.base.exists(name)
+
+    def delete(self, name: str) -> None:
+        self._mutate(space_consuming=False)
+        self.base.delete(name)
+
+    def rename(self, old: str, new: str) -> None:
+        self._mutate(space_consuming=False)
+        self.base.rename(old, new)
+
+    def list_dir(self, prefix: str = "") -> list[str]:
+        return self.base.list_dir(prefix)
+
+    def file_size(self, name: str) -> int:
+        return self.base.file_size(name)
+
+
+class _PlannedWritable(WritableFile):
+    def __init__(self, vfs: PlannedFaultVFS, base: WritableFile) -> None:
+        self._vfs = vfs
+        self._base = base
+
+    def append(self, data: bytes, category: Category = Category.OTHER) -> None:
+        self._vfs._mutate(space_consuming=True)
+        self._base.append(data, category)
+
+    def flush(self) -> None:
+        self._base.flush()
+
+    def sync(self) -> None:
+        self._vfs._mutate(space_consuming=True)
+        self._base.sync()
+
+    def close(self) -> None:
+        self._base.close()
+
+    @property
+    def size(self) -> int:
+        return self._base.size

@@ -365,8 +365,10 @@ class _LocalRandomAccess(RandomAccessFile):
     def read_at(self, offset: int, length: int,
                 category: Category = Category.DATA,
                 charge: bool = True) -> bytes:
-        self._fh.seek(offset)
-        data = self._fh.read(length)
+        # Positional read: seek()+read() on the shared handle is not
+        # thread-safe — concurrent readers would interleave positions and
+        # hand each other bytes from the wrong offset.
+        data = os.pread(self._fh.fileno(), length, offset)
         if charge:
             self._vfs.stats.record_read(len(data), category)
         return data

@@ -67,6 +67,23 @@ def cmd_stats(directory: str, name: str, out: IO[str]) -> int:
                   f"{pipeline['compaction_queue_depth']}\n")
         out.write(f"  stalls:          {pipeline['stall_events']} events, "
                   f"{pipeline['stall_seconds']:.3f}s\n")
+        workers = pipeline["workers"]
+        if workers is None:
+            out.write("  workers:         off\n")
+        else:
+            out.write(f"  workers:         {workers['processes']} processes, "
+                      f"{workers['jobs_completed']}/"
+                      f"{workers['jobs_dispatched']} jobs, "
+                      f"{workers['jobs_failed']} failed, "
+                      f"{workers['worker_cpu_seconds']:.3f}s cpu\n")
+        shm = pipeline["shm_cache"]
+        if shm is None:
+            out.write("  shm cache:       off\n")
+        else:
+            out.write(f"  shm cache:       {shm['slot_count']} slots x "
+                      f"{shm['slot_bytes']} bytes, "
+                      f"{shm['hits']} hits, {shm['misses']} misses, "
+                      f"{shm['evictions']} evictions\n")
         return 0
     finally:
         db.close()
@@ -258,7 +275,8 @@ def cmd_profile(workload: str, ops: int, top: int, out: IO[str]) -> int:
 
 def cmd_serve(directory: str, name: str, out: IO[str], host: str,
               port: int, indexes: str | None, sync: bool,
-              max_inflight: int) -> int:
+              max_inflight: int, compaction_processes: int = 0,
+              shm_cache_bytes: int = 0) -> int:
     """Serve one database over the framed socket protocol (ROADMAP item 1).
 
     Without ``--indexes`` the database is served raw (keys and values are
@@ -294,11 +312,15 @@ def cmd_serve(directory: str, name: str, out: IO[str], host: str,
                 return 2
         db: object = SecondaryIndexedDB.open(
             LocalVFS(directory), name, indexes=index_map,
-            options=Options(sync_writes=sync))
+            options=Options(sync_writes=sync,
+                            compaction_processes=compaction_processes,
+                            shm_cache_bytes=shm_cache_bytes))
         closer = db.close
     else:
         db = _open(directory, name,
-                   Options(sync_writes=sync, background_compaction=True))
+                   Options(sync_writes=sync, background_compaction=True,
+                           compaction_processes=compaction_processes,
+                           shm_cache_bytes=shm_cache_bytes))
         closer = db.close
     server = Server(db, host=host, port=port, max_inflight=max_inflight)
     try:
@@ -357,6 +379,13 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
     serve.add_argument("--max-inflight", type=int, default=32,
                        help="pipelined requests per connection before "
                             "backpressure (default 32)")
+    serve.add_argument("--compaction-processes", type=int, default=0,
+                       help="run compactions in N worker processes instead "
+                            "of the serving interpreter (default 0 = "
+                            "in-process)")
+    serve.add_argument("--shm-cache-bytes", type=int, default=0,
+                       help="shared-memory block cache size shared with "
+                            "compaction workers (default 0 = off)")
     args = parser.parse_args(argv)
     if args.command == "stats":
         return cmd_stats(args.directory, args.name, out)
@@ -371,5 +400,6 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
     if args.command == "serve":
         return cmd_serve(args.directory, args.name, out, args.host,
                          args.port, args.indexes, args.sync,
-                         args.max_inflight)
+                         args.max_inflight, args.compaction_processes,
+                         args.shm_cache_bytes)
     return cmd_verify(args.directory, args.name, out)
