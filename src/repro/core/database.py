@@ -356,6 +356,21 @@ class SecondaryIndexedDB:
                 dest_vfs, f"{name}/index-{index.kind.value}-{attribute}")
         return copied
 
+    def verify_integrity(self) -> dict[str, Any]:
+        """Offline checker over the primary table and every index table.
+
+        Returns ``{"primary" | "index:attr": IntegrityReport}``; all
+        reports ``.ok`` means every block checksum, table reference and
+        manifest entry verified.
+        """
+        self._check_open()
+        reports: dict[str, Any] = {"primary": self.primary.verify_integrity()}
+        for attribute, index in self.indexes.items():
+            index_db = getattr(index, "index_db", None)
+            if index_db is not None:
+                reports[f"index:{attribute}"] = index_db.verify_integrity()
+        return reports
+
     def size_breakdown(self) -> dict[str, int]:
         """Bytes per table — the paper's Figure 8a decomposition.
 

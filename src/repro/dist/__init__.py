@@ -18,10 +18,39 @@ shard boundaries to maintain the index.
 :class:`repro.dist.cluster.ShardedDB` composes the single-node engine into
 both designs so their trade-off can be measured with the same I/O meters
 as the paper's single-node experiments
-(``benchmarks/bench_dist_local_vs_global.py``).
+(``benchmarks/bench_dist_local_vs_global.py``) — and, beyond the paper,
+replicates each shard (:mod:`repro.dist.replication`), splits shards live
+(:mod:`repro.dist.migration`) and repairs divergence with anti-entropy
+passes, all drilled deterministically under the scheduler and fault VFS.
 """
 
-from repro.dist.cluster import GlobalSecondaryIndex, ShardedDB
-from repro.dist.partitioner import HashPartitioner
+from repro.dist.cluster import GlobalSecondaryIndex, SequenceOracle, ShardedDB
+from repro.dist.migration import MigrationError, ShardSplit
+from repro.dist.partitioner import (
+    HashPartitioner,
+    RangePartitioner,
+    SplitHashRing,
+)
+from repro.dist.replication import (
+    NoReplicaError,
+    ReplicaDivergenceError,
+    ReplicaSet,
+    ReplicationError,
+    SequenceChannel,
+)
 
-__all__ = ["GlobalSecondaryIndex", "HashPartitioner", "ShardedDB"]
+__all__ = [
+    "GlobalSecondaryIndex",
+    "HashPartitioner",
+    "MigrationError",
+    "NoReplicaError",
+    "RangePartitioner",
+    "ReplicaDivergenceError",
+    "ReplicaSet",
+    "ReplicationError",
+    "SequenceChannel",
+    "SequenceOracle",
+    "ShardSplit",
+    "ShardedDB",
+    "SplitHashRing",
+]

@@ -1,8 +1,10 @@
-"""A sharded store with local or global secondary indexes.
+"""A replicated, elastic sharded store with local or global indexes.
 
-:class:`ShardedDB` runs N single-node :class:`SecondaryIndexedDB` shards
-behind a hash partitioner.  Writes are single-shard; reads route by key.
-Secondary queries depend on the index scope:
+:class:`ShardedDB` runs N logical shards — each a
+:class:`~repro.dist.replication.ReplicaSet` of ``replication_factor``
+synchronous copies — behind an elastic hash ring.  Writes fan out to every
+live replica of the owning shard; reads route by key and fail over past
+downed replicas.  Secondary queries depend on the index scope:
 
 * **local** — each shard indexes its own records (any of the paper's five
   techniques); LOOKUP scatters to all shards and merges top-K;
@@ -12,16 +14,24 @@ Secondary queries depend on the index scope:
 
 Recency is globally comparable because every shard draws sequence numbers
 from one :class:`SequenceOracle` (the timestamp-oracle pattern), so
-cross-shard top-K merges are exact.
+cross-shard top-K merges are exact.  Replicas of a shard draw through a
+record/replay :class:`~repro.dist.replication.SequenceChannel`, so all
+copies stamp each write with identical sequence numbers — which is also
+what lets a live shard split (:mod:`repro.dist.migration`) replay its WAL
+tail onto the new shard without perturbing recency order.
+
+Concurrency contract: like a single ``SecondaryIndexedDB``, the facade
+expects one mutating call at a time (the network server serializes behind
+its dispatch lock; the drills serialize through the DeterministicScheduler).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import replace
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.core.base import IndexKind, LookupResult
-from repro.core.database import SecondaryIndexedDB
 from repro.core.lazy import LazyIndex
 from repro.core.posting import posting_merge_operator
 from repro.core.records import (
@@ -30,11 +40,12 @@ from repro.core.records import (
     decode_document,
     key_to_bytes,
 )
-from repro.dist.partitioner import HashPartitioner
+from repro.dist.partitioner import HashPartitioner, SplitHashRing
+from repro.dist.replication import ReplicaSet, SequenceChannel
 from repro.lsm.db import DB
 from repro.lsm.errors import InvalidArgumentError
 from repro.lsm.options import Options
-from repro.lsm.vfs import MemoryVFS
+from repro.lsm.vfs import VFS, MemoryVFS
 from repro.lsm.zonemap import encode_attribute
 
 
@@ -49,6 +60,11 @@ class SequenceOracle:
         first = self._next
         self._next += count
         return first
+
+    def advance_past(self, seq: int) -> None:
+        """Never hand out ``seq`` or below again (restart over existing
+        data: recovered tables already used those numbers)."""
+        self._next = max(self._next, seq + 1)
 
     @property
     def last_allocated(self) -> int:
@@ -165,14 +181,15 @@ class GlobalSecondaryIndex:
             deduped.append(result)
         return deduped if k is None else deduped[:k]
 
-    def rebuild(self, data_shards: list[SecondaryIndexedDB]) -> int:
-        """Discard the ring and replay every live record from the shards.
+    def rebuild(self, records: Iterable[tuple[bytes, Document, int]]) -> int:
+        """Discard the ring and replay every live owned record.
 
-        The data shards are authoritative (same contract as
+        ``records`` yields ``(key, document, seq)`` from the authoritative
+        data shards (same contract as
         :meth:`SecondaryIndexedDB.rebuild_index`): a ring left stale by a
-        mid-maintenance fault is regenerated wholesale, so afterwards it
-        answers queries exactly as a ring that never missed an update.
-        Returns the number of records replayed.
+        mid-maintenance fault — or diverged by corruption — is regenerated
+        wholesale, so afterwards it answers queries exactly as a ring that
+        never missed an update.  Returns the number of records replayed.
         """
         for shard in self.shards:
             shard.close()
@@ -184,13 +201,25 @@ class GlobalSecondaryIndex:
             self.shards.append(LazyIndex(self.attribute, index_db,
                                          self.checker))
         replayed = 0
-        for data_shard in data_shards:
-            for key_bytes, value, seq in data_shard.primary.scan_with_seq():
-                self.on_put(key_bytes, decode_document(value), seq)
-                replayed += 1
+        for key_bytes, document, seq in records:
+            self.on_put(key_bytes, document, seq)
+            replayed += 1
         for shard in self.shards:
             shard.flush()
         return replayed
+
+    def scrub(self, block_budget: int | None = None) -> list[str]:
+        """Scrub every index shard's table; returns the problems found."""
+        problems: list[str] = []
+        for shard_id, shard in enumerate(self.shards):
+            report = shard.index_db.scrub(block_budget)
+            for problem in report.problems:
+                problems.append(f"gsi-{self.attribute}-{shard_id}: "
+                                f"{problem}")
+            if shard.index_db.quarantined_tables():
+                problems.append(f"gsi-{self.attribute}-{shard_id}: "
+                                f"quarantined tables")
+        return problems
 
     def size_bytes(self) -> int:
         """Total bytes across the whole index ring."""
@@ -203,25 +232,42 @@ class GlobalSecondaryIndex:
 
 
 class ShardedDB:
-    """N data shards + optional global index rings behind one facade."""
+    """N replicated data shards + optional global index rings, one facade."""
 
-    def __init__(self, data_shards: list[SecondaryIndexedDB],
-                 partitioner: HashPartitioner,
+    def __init__(self, data_shards: list[ReplicaSet], ring: SplitHashRing,
                  local_attributes: set[str],
                  global_indexes: dict[str, GlobalSecondaryIndex],
-                 oracle: SequenceOracle) -> None:
-        """Assembled by :meth:`open_memory`."""
+                 oracle: SequenceOracle, base_options: Options,
+                 replication_factor: int,
+                 local_indexes: Mapping[str, IndexKind],
+                 vfs_factory: Callable[[int, int], VFS] | None = None
+                 ) -> None:
+        """Assembled by :meth:`open_memory` / :meth:`open`."""
         self.data_shards = data_shards
-        self.partitioner = partitioner
+        self.ring = ring
         self.local_attributes = local_attributes
         self.global_indexes = global_indexes
         self.oracle = oracle
+        self.base_options = base_options
+        self.replication_factor = replication_factor
+        self.local_indexes = dict(local_indexes)
+        self._vfs_factory = vfs_factory or (lambda _sid, _rid: MemoryVFS())
+        self._step_hook: Callable[[str], None] | None = base_options.step_hook
         #: Data shards touched by secondary queries (scatter-gather cost).
         self.data_shards_contacted = 0
         #: GSI rings that missed a maintenance update (fault mid-put) and
         #: must be rebuilt from the data shards before serving queries.
         self._dirty_global: set[str] = set()
+        #: The in-flight :class:`~repro.dist.migration.ShardSplit`, if any.
+        self._migration = None
+        #: Once a split has ever begun, scatter/scan results are filtered
+        #: by ring ownership (pre-cleanup copies must not surface twice).
+        #: Never set on a static cluster, so the default path is untouched.
+        self._filter_owned = False
+        self.splits_completed = 0
         self._closed = False
+
+    # -- construction ------------------------------------------------------
 
     @classmethod
     def open_memory(cls, num_shards: int = 4,
@@ -229,8 +275,8 @@ class ShardedDB:
                     global_indexes: tuple[str, ...] = (),
                     options: Options | None = None,
                     num_index_shards: int | None = None,
-                    global_split_points: Mapping[str, list] | None = None
-                    ) -> "ShardedDB":
+                    global_split_points: Mapping[str, list] | None = None,
+                    replication_factor: int = 1) -> "ShardedDB":
         """Build a cluster: ``local_indexes`` live on every data shard;
         each attribute in ``global_indexes`` gets its own GSI ring.
 
@@ -238,7 +284,67 @@ class ShardedDB:
         to range partitioning: the given attribute *values* become the
         shard boundaries (``len(points) + 1`` index shards), letting
         RANGELOOKUPs contact only overlapping shards.
+
+        ``replication_factor=1`` (the default) keeps the original
+        single-copy layout — per-index metered VFSes and all — so the
+        paper-reproduction benches measure exactly what they always did;
+        ``replication_factor>=2`` gives every shard that many synchronous
+        copies, each on its own filesystem so it can be killed, revived
+        and reseeded.
         """
+        oracle = SequenceOracle()
+        base_options = replace(options or Options(),
+                               sequence_oracle=oracle.allocate)
+        cluster = cls._assemble(
+            num_shards, local_indexes, global_indexes, oracle, base_options,
+            replication_factor, num_index_shards, global_split_points,
+            vfs_factory=None)
+        return cluster
+
+    @classmethod
+    def open(cls, vfs_factory: Callable[[int, int], VFS],
+             num_shards: int = 4, replication_factor: int = 1,
+             local_indexes: Mapping[str, IndexKind] | None = None,
+             global_indexes: tuple[str, ...] = (),
+             options: Options | None = None,
+             num_index_shards: int | None = None,
+             global_split_points: Mapping[str, list] | None = None
+             ) -> "ShardedDB":
+        """Open (or recover) a cluster over durable filesystems.
+
+        ``vfs_factory(shard_id, replica_id)`` supplies each replica's
+        filesystem; every replica recovers whatever its VFS already holds
+        (WAL replay inside ``DB.open``).  The sequence oracle resumes past
+        the highest recovered sequence number, and global index rings —
+        which live in memory — are rebuilt from the recovered shards.
+        """
+        oracle = SequenceOracle()
+        base_options = replace(options or Options(),
+                               sequence_oracle=oracle.allocate)
+        cluster = cls._assemble(
+            num_shards, local_indexes, global_indexes, oracle, base_options,
+            replication_factor, num_index_shards, global_split_points,
+            vfs_factory=vfs_factory)
+        recovered = 0
+        for group in cluster.data_shards:
+            for replica in group.replicas:
+                recovered = max(recovered,
+                                replica.db.primary.versions.last_sequence)
+                for index in replica.db.indexes.values():
+                    index_db = getattr(index, "index_db", None)
+                    if index_db is not None:
+                        recovered = max(recovered,
+                                        index_db.versions.last_sequence)
+        oracle.advance_past(recovered)
+        if recovered:
+            for attribute in list(cluster.global_indexes):
+                cluster.rebuild_global_index(attribute)
+        return cluster
+
+    @classmethod
+    def _assemble(cls, num_shards, local_indexes, global_indexes, oracle,
+                  base_options, replication_factor, num_index_shards,
+                  global_split_points, vfs_factory) -> "ShardedDB":
         from repro.dist.partitioner import RangePartitioner
 
         local_indexes = dict(local_indexes or {})
@@ -251,16 +357,30 @@ class ShardedDB:
         if unknown:
             raise InvalidArgumentError(
                 f"split points for non-global attributes: {unknown}")
-        oracle = SequenceOracle()
-        base_options = replace(options or Options(),
-                               sequence_oracle=oracle.allocate)
-        partitioner = HashPartitioner(num_shards)
-        shards = [
-            SecondaryIndexedDB.open_memory(
-                indexes=local_indexes, options=base_options,
-                name=f"shard-{shard_id}")
-            for shard_id in range(num_shards)]
-        cluster = cls(shards, partitioner, set(local_indexes), {}, oracle)
+        if replication_factor < 1:
+            raise InvalidArgumentError("replication_factor must be >= 1")
+        ring = SplitHashRing(num_shards)
+        step_hook = base_options.step_hook
+        groups: list[ReplicaSet] = []
+        for shard_id in range(num_shards):
+            channel = SequenceChannel(oracle.allocate)
+            group_options = replace(base_options,
+                                    sequence_oracle=channel.allocate)
+            if replication_factor == 1 and vfs_factory is None:
+                group = ReplicaSet.open_legacy(
+                    shard_id, local_indexes, group_options, channel,
+                    step_hook)
+            else:
+                factory = vfs_factory or (lambda _sid, _rid: MemoryVFS())
+                vfs_list = [factory(shard_id, replica_id)
+                            for replica_id in range(replication_factor)]
+                group = ReplicaSet.open_replicated(
+                    shard_id, vfs_list, local_indexes, group_options,
+                    channel, step_hook)
+            groups.append(group)
+        cluster = cls(groups, ring, set(local_indexes), {}, oracle,
+                      base_options, replication_factor, local_indexes,
+                      vfs_factory)
         checker = _RoutedValidity(cluster._routed_get_with_seq)
         for attribute in global_indexes:
             if attribute in global_split_points:
@@ -278,34 +398,56 @@ class ShardedDB:
 
     # -- routing ---------------------------------------------------------------
 
-    def _shard_for(self, key: bytes) -> SecondaryIndexedDB:
-        return self.data_shards[self.partitioner.shard_of(key)]
+    @property
+    def partitioner(self):
+        """Backwards-compatible alias: the current routing ring."""
+        return self.ring
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.data_shards)
+
+    def _shard_for(self, key: bytes) -> ReplicaSet:
+        return self.data_shards[self.ring.shard_of(key)]
 
     def _routed_get_with_seq(self, key: bytes) -> tuple[bytes, int] | None:
         self.data_shards_contacted += 1
-        return self._shard_for(key).primary.get_with_seq(key)
+        return self._shard_for(key).get_with_seq(key)
 
     # -- base operations ---------------------------------------------------------
 
     def put(self, key: str | bytes, document: Document) -> int:
-        """Write to the owning data shard, then maintain every GSI.
+        """Write to every live replica of the owning shard, then maintain
+        every GSI.
 
-        The record is durable once the shard write returns; a fault while
-        maintaining a GSI marks that ring dirty (it rebuilds before its
-        next query) instead of leaving it silently stale.
+        The record is durable once the replica fan-out returns; a fault
+        while maintaining a GSI marks that ring dirty (it rebuilds before
+        its next query) instead of leaving it silently stale.  While a
+        split is in flight, acked writes to moving keys are also journaled
+        for the WAL-tail replay.
         """
         self._check_open()
         key_bytes = key_to_bytes(key)
-        shard = self._shard_for(key_bytes)
-        seq = shard.put(key_bytes, document)
+        shard_id = self.ring.shard_of(key_bytes)
+        group = self.data_shards[shard_id]
+        self._order_after_tail(shard_id)
+        journaled = []
+        seq = group.put(key_bytes, document,
+                        on_commit=lambda s, log: self._observe_commit(
+                            "put", key_bytes, document, shard_id, s, log,
+                            journaled))
+        if not journaled:
+            seq = self._reroute_straggler("put", key_bytes, document,
+                                          shard_id, seq)
         self._maintain_global(
             lambda index: index.on_put(key_bytes, document, seq))
         return seq
 
     def get(self, key: str | bytes) -> Document | None:
-        """Point read, routed by primary key."""
+        """Point read, routed by primary key; fails over within the shard."""
         self._check_open()
-        return self._shard_for(key_to_bytes(key)).get(key)
+        self._sync_with_tail()
+        return self._shard_for(key_to_bytes(key)).get(key_to_bytes(key))
 
     def delete(self, key: str | bytes) -> int:
         """Delete from the owning shard; GSIs get deletion markers.
@@ -318,14 +460,97 @@ class ShardedDB:
         """
         self._check_open()
         key_bytes = key_to_bytes(key)
-        shard = self._shard_for(key_bytes)
+        shard_id = self.ring.shard_of(key_bytes)
+        group = self.data_shards[shard_id]
+        self._order_after_tail(shard_id)
         old_document = None
         if self.global_indexes:
-            old_document = shard.get(key_bytes)
-        seq = shard.delete(key_bytes)
+            old_document = group.get(key_bytes)
+        journaled = []
+        seq = group.delete(key_bytes,
+                           on_commit=lambda s, log: self._observe_commit(
+                               "delete", key_bytes, None, shard_id, s, log,
+                               journaled))
+        if not journaled:
+            seq = self._reroute_straggler("delete", key_bytes, None,
+                                          shard_id, seq)
         self._maintain_global(
             lambda index: index.on_delete(key_bytes, old_document, seq))
         return seq
+
+    def _order_after_tail(self, shard_id: int) -> None:
+        """Serialize direct writes to a split's destination behind the
+        journal tail.
+
+        After the ring flips, new writes route straight to the new shard
+        while older writes (routed pre-flip) may still sit in the split's
+        journal with *lower* sequence numbers.  Applying the new write
+        first would make the later tail replay go backwards, so the tail
+        drains now, inside this write's atomic chunk."""
+        if self._migration is not None \
+                and shard_id == self._migration.new_id:
+            self._migration.flush_tail()
+
+    def _sync_with_tail(self) -> None:
+        """Read barrier against an in-flight split's journal tail.
+
+        Post-flip, the destination owns keys whose newest versions may
+        still be journaled (a write routed pre-flip, committed post-flip).
+        Serving the destination's copy before the tail lands would read a
+        stale value — or resurrect a tombstoned record — so every query
+        first drains the tail.  No-op without a registered migration."""
+        if self._migration is not None:
+            self._migration.flush_tail()
+
+    def _observe_commit(self, op: str, key_bytes: bytes,
+                        document: Document | None, shard_id: int, seq: int,
+                        alloc_log: tuple[tuple[int, int], ...],
+                        journaled: list) -> None:
+        """Journal a commit into the in-flight split, atomically with the
+        commit itself (runs before the fan-out's ack yield point)."""
+        if self._migration is not None \
+                and self._migration.observe(op, key_bytes, document,
+                                            shard_id, seq, alloc_log):
+            journaled.append(True)
+
+    def _reroute_straggler(self, op: str, key_bytes: bytes,
+                           document: Document | None, shard_id: int,
+                           seq: int) -> int:
+        """Close the route-vs-flip race on the write path.
+
+        A write routes with one ring but commits later; if a split's ring
+        flip lands in between, the write is acked by a shard that no
+        longer owns the key.  While the split is registered, its journal
+        ferries the write to the destination (flip- and cleanup-chunk
+        drains) — that's the ``_observe_commit`` path.  When the write
+        was *not* journaled (the split already finished its cleanup), the
+        write re-applies here to the group the current ring says owns the
+        key, as a fresh atomic op — an exact-sequence replay is unsound
+        because source and destination can disagree on prior state (the
+        source copy may already be purged).  Put/delete are idempotent
+        latest-wins ops, so a re-apply is safe even in the rare case the
+        checkpoint already carried the write.  Returns the sequence the
+        owner serves, which downstream GSI maintenance must stamp.  The
+        stray source copy stays invisible behind the ownership filter;
+        static clusters (``_filter_owned`` unset) never take this branch.
+        """
+        if not self._filter_owned:
+            return seq
+        owner_id = self.ring.shard_of(key_bytes)
+        if owner_id == shard_id:
+            return seq
+        owner = self.data_shards[owner_id]
+        current = owner.primary.get_with_seq(key_bytes)
+        if current is not None and current[1] >= seq:
+            # The split's checkpoint or a journal drain already carried
+            # this very write over; the owner serves it at its own seq.
+            return current[1]
+        new_seq = owner.apply_local(op, key_bytes, document)
+        # The owner may itself be the source of a newer in-flight split;
+        # journal the re-applied write so that split's drains ferry it.
+        self._observe_commit(op, key_bytes, document, owner_id, new_seq,
+                             owner.last_alloc_log, [])
+        return new_seq
 
     def _maintain_global(self, apply: Callable[[GlobalSecondaryIndex], None]
                          ) -> None:
@@ -356,6 +581,9 @@ class ShardedDB:
                early_termination: bool = True) -> list[LookupResult]:
         """LOOKUP: one GSI shard (global) or all-shard scatter (local)."""
         self._check_open()
+        if self._step_hook is not None:
+            self._step_hook(f"read:lookup:{attribute}")
+        self._sync_with_tail()
         if attribute in self.global_indexes:
             if attribute in self._dirty_global:
                 self.rebuild_global_index(attribute)
@@ -373,6 +601,9 @@ class ShardedDB:
                      early_termination: bool = True) -> list[LookupResult]:
         """RANGELOOKUP, routed or scattered per the attribute's scope."""
         self._check_open()
+        if self._step_hook is not None:
+            self._step_hook(f"read:rangelookup:{attribute}")
+        self._sync_with_tail()
         if attribute in self.global_indexes:
             if attribute in self._dirty_global:
                 self.rebuild_global_index(attribute)
@@ -390,20 +621,150 @@ class ShardedDB:
 
         Per-shard results are each correct top-K lists under globally
         comparable sequence numbers, so the merged prefix is the global
-        top-K.
+        top-K.  Once a split has begun, each shard's results are filtered
+        to the keys the current ring assigns it: pre-cleanup copies on the
+        split's source (or unpurged destination) shard validate as live
+        but belong to the other side, and surfacing both would double
+        results.  An owned record with global rank <= K is always within
+        its owner shard's local top-K (every record beating it locally
+        maps to a distinct record beating it globally), so the filter
+        never causes an under-count.
         """
+        ring = self.ring
         merged: list[LookupResult] = []
-        for shard in self.data_shards:
+        for shard_id, group in enumerate(self.data_shards):
             self.data_shards_contacted += 1
-            merged.extend(query(shard))
+            results = query(group)
+            if self._filter_owned:
+                results = [result for result in results
+                           if ring.shard_of(key_to_bytes(result.key))
+                           == shard_id]
+            merged.extend(results)
         merged.sort(key=lambda r: -r.seq)
         return merged if k is None else merged[:k]
+
+    def scan(self, low: str | bytes | None = None,
+             high: str | bytes | None = None
+             ) -> Iterator[tuple[str, Document]]:
+        """Ordered iteration over live ``(key, document)`` pairs across
+        the whole cluster (k-way merge of per-shard primary scans)."""
+        self._check_open()
+        if self._step_hook is not None:
+            self._step_hook("read:scan")
+        self._sync_with_tail()
+        ring = self.ring
+        iterators = [self._owned_scan(shard_id, group, low, high, ring)
+                     for shard_id, group in enumerate(self.data_shards)]
+        return heapq.merge(*iterators, key=lambda pair: pair[0])
+
+    def _owned_scan(self, shard_id: int, group: ReplicaSet, low, high, ring):
+        for key, document in group.scan(low, high):
+            if self._filter_owned and \
+                    ring.shard_of(key_to_bytes(key)) != shard_id:
+                continue
+            yield key, document
+
+    # -- replication control -----------------------------------------------------
+
+    def kill_replica(self, shard_id: int, replica_id: int) -> None:
+        """Take one replica down abruptly (drill interface)."""
+        self._check_open()
+        self.data_shards[shard_id].kill(replica_id)
+
+    def revive_replica(self, shard_id: int, replica_id: int) -> str:
+        """Restart a downed replica from its files; returns ``up`` or
+        ``stale`` (stale copies are reseeded by read repair or
+        :meth:`repair_shard` before serving)."""
+        self._check_open()
+        return self.data_shards[shard_id].revive(replica_id)
+
+    def repair_shard(self, shard_id: int) -> list[int]:
+        """Reseed every stale replica of one shard from its leader."""
+        self._check_open()
+        return self.data_shards[shard_id].repair()
+
+    # -- elastic resharding ------------------------------------------------------
+
+    def begin_split(self, source_id: int | None = None,
+                    vfs_factory: Callable[[int], VFS] | None = None):
+        """Start a live split of ``source_id`` (default: the shard with
+        the most live records) onto a new shard; returns the
+        :class:`~repro.dist.migration.ShardSplit` to drive with ``step()``
+        / ``run()``."""
+        from repro.dist.migration import ShardSplit
+
+        self._check_open()
+        if source_id is None:
+            counts = self.shard_record_counts()
+            source_id = max(range(len(counts)), key=counts.__getitem__)
+        if vfs_factory is None:
+            new_id = len(self.data_shards)
+            vfs_factory = (lambda replica_id:
+                           self._vfs_factory(new_id, replica_id))
+        return ShardSplit(self, source_id, vfs_factory)
+
+    def split_shard(self, source_id: int | None = None):
+        """Run a whole split synchronously; returns the finished
+        :class:`~repro.dist.migration.ShardSplit`."""
+        return self.begin_split(source_id).run()
+
+    def _register_migration(self, migration) -> None:
+        self._migration = migration
+        self._filter_owned = True
+
+    def _unregister_migration(self, migration) -> None:
+        if self._migration is migration:
+            self._migration = None
+
+    def _complete_flip(self, migration) -> None:
+        """Publish the split: the new group joins the shard list *before*
+        the ring flips (the old ring never routes to it), then one
+        attribute assignment moves ownership."""
+        self.data_shards.append(migration.dest)
+        self.ring = migration.next_ring
+        self.splits_completed += 1
+        # The migration stays registered (and journaling) until cleanup:
+        # a write that routed before this flip can still commit after it,
+        # and its journal entry must reach the cleanup-chunk drain.
+
+    # -- anti-entropy ------------------------------------------------------------
+
+    def anti_entropy(self, block_budget: int | None = None) -> dict[str, Any]:
+        """One full repair pass: scrub every replica, reseed diverged or
+        stale copies from their leaders, then scrub the GSI rings and
+        rebuild any that diverged — restoring exact query parity."""
+        self._check_open()
+        summary: dict[str, Any] = {"shards": {}, "gsi_rebuilt": [],
+                                   "gsi_problems": []}
+        for group in self.data_shards:
+            summary["shards"][group.shard_id] = \
+                group.anti_entropy(block_budget)
+        for attribute, index in self.global_indexes.items():
+            problems = index.scrub(block_budget)
+            if problems:
+                summary["gsi_problems"].extend(problems)
+                self._dirty_global.add(attribute)
+        for attribute in self.dirty_global_indexes():
+            self.rebuild_global_index(attribute)
+            summary["gsi_rebuilt"].append(attribute)
+        return summary
 
     # -- index healing -------------------------------------------------------------
 
     def dirty_global_indexes(self) -> list[str]:
         """Attributes whose GSI ring missed an update and awaits rebuild."""
         return sorted(self._dirty_global)
+
+    def _owned_records(self) -> Iterator[tuple[bytes, Document, int]]:
+        """Every live record the current ring assigns to its shard —
+        the authoritative dataset GSI rebuilds replay."""
+        ring = self.ring
+        for shard_id, group in enumerate(self.data_shards):
+            for key_bytes, value, seq in group.primary.scan_with_seq():
+                if self._filter_owned and \
+                        ring.shard_of(key_bytes) != shard_id:
+                    continue
+                yield key_bytes, decode_document(value), seq
 
     def rebuild_global_index(self, attribute: str) -> int:
         """Rebuild one GSI ring from the (authoritative) data shards.
@@ -415,7 +776,7 @@ class ShardedDB:
         if index is None:
             raise InvalidArgumentError(
                 f"no global index on attribute {attribute!r}")
-        replayed = index.rebuild(self.data_shards)
+        replayed = index.rebuild(self._owned_records())
         self._dirty_global.discard(attribute)
         return replayed
 
@@ -431,8 +792,8 @@ class ShardedDB:
         for attribute in self.dirty_global_indexes():
             healed[f"global:{attribute}"] = \
                 self.rebuild_global_index(attribute)
-        for shard_id, shard in enumerate(self.data_shards):
-            for attribute, replayed in shard.heal_indexes().items():
+        for shard_id, group in enumerate(self.data_shards):
+            for attribute, replayed in group.heal_indexes().items():
                 healed[f"shard{shard_id}:{attribute}"] = replayed
         return healed
 
@@ -440,22 +801,72 @@ class ShardedDB:
 
     def total_size(self) -> int:
         """Bytes across all data shards and global index rings."""
-        total = sum(shard.total_size() for shard in self.data_shards)
+        total = sum(group.total_size() for group in self.data_shards)
         total += sum(index.size_bytes()
                      for index in self.global_indexes.values())
         return total
 
     def shard_record_counts(self) -> list[int]:
-        """Live records per shard (balance check)."""
-        return [sum(1 for _ in shard.primary.scan())
-                for shard in self.data_shards]
+        """Live *owned* records per shard (balance check)."""
+        ring = self.ring
+        counts = []
+        for shard_id, group in enumerate(self.data_shards):
+            count = 0
+            for key_bytes, _value in group.primary.scan():
+                if self._filter_owned and \
+                        ring.shard_of(key_bytes) != shard_id:
+                    continue
+                count += 1
+            counts.append(count)
+        return counts
+
+    def verify_integrity(self) -> dict[str, Any]:
+        """Integrity reports for every replica table in the cluster."""
+        self._check_open()
+        reports: dict[str, Any] = {}
+        for group in self.data_shards:
+            for label, report in group.verify_integrity().items():
+                reports[f"shard{group.shard_id}:{label}"] = report
+        return reports
+
+    def stats(self) -> dict[str, Any]:
+        """Cluster-wide counters: replication, routing, migration, GSIs."""
+        self._check_open()
+        migration = self._migration
+        return {
+            "num_shards": len(self.data_shards),
+            "replication_factor": self.replication_factor,
+            "ring": {"base_shards": self.ring.base_shards,
+                     "splits": list(self.ring.splits)},
+            "last_sequence": self.oracle.last_allocated,
+            "data_shards_contacted": self.data_shards_contacted,
+            "shards": [group.status() for group in self.data_shards],
+            "splits_completed": self.splits_completed,
+            "migration": None if migration is None else migration.status(),
+            "global_indexes": sorted(self.global_indexes),
+            "dirty_global_indexes": self.dirty_global_indexes(),
+        }
+
+    def instrument(self, step_hook: Callable[[str], None] | None) -> None:
+        """Install (or remove) a distributed-layer step hook after
+        construction — lets drills preload data hook-free, then hand the
+        yield points to a DeterministicScheduler."""
+        self._step_hook = step_hook
+        for group in self.data_shards:
+            group.step_hook = step_hook
+
+    def flush(self) -> None:
+        """Flush every live replica of every shard."""
+        self._check_open()
+        for group in self.data_shards:
+            group.flush()
 
     def close(self) -> None:
         """Close every data shard and GSI ring (idempotent)."""
         if self._closed:
             return
-        for shard in self.data_shards:
-            shard.close()
+        for group in self.data_shards:
+            group.close()
         for index in self.global_indexes.values():
             index.close()
         self._closed = True

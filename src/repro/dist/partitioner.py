@@ -9,6 +9,13 @@ balance, but value ranges scatter across every shard.
 adjacent values on the same shard, so a global index partitioned by range
 can answer RANGELOOKUPs from only the overlapping shards — at the price
 of hand-chosen (or rebalanced) boundaries and skew exposure.
+
+*Split-hash* partitioning (:class:`SplitHashRing`) is the elastic variant
+the migration machinery needs: it starts bit-identical to
+:class:`HashPartitioner` and grows one shard at a time, linear-hashing
+style — each split moves a pseudo-random *half* of one shard's keys to a
+brand-new shard and leaves every other shard's ownership untouched, so a
+live migration only ever copies one shard's data.
 """
 
 from __future__ import annotations
@@ -35,6 +42,79 @@ class HashPartitioner:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"HashPartitioner(num_shards={self.num_shards})"
+
+
+class SplitHashRing:
+    """An elastic hash ring: ``HashPartitioner`` plus linear-hash splits.
+
+    With no splits, :meth:`shard_of` is bit-identical to
+    ``HashPartitioner(base_shards).shard_of`` — the default cluster routing
+    is unchanged until the first migration.  ``with_split(parent, new_id)``
+    returns a *new* ring (instances are immutable, so a cluster can flip
+    from old ring to new ring with one atomic attribute assignment) in
+    which roughly half of ``parent``'s keys — chosen by one bit of a
+    second, domain-separated digest per split depth — now route to
+    ``new_id``.  Keys owned by other shards are never remapped.
+
+    Split decisions consume bit ``depth`` of the secondary digest, so a
+    shard split twice partitions its keyspace into quarters, exactly like
+    classic linear hashing's directory doubling but one bucket at a time.
+    """
+
+    _PERSON = b"repro-reshard"
+
+    def __init__(self, base_shards: int,
+                 splits: tuple[tuple[int, int], ...] = ()) -> None:
+        if base_shards < 1:
+            raise ValueError("base_shards must be >= 1")
+        self.base_shards = base_shards
+        self.splits = tuple(splits)
+        # leaf shard id -> split depth; a key's route walks depths 0..d.
+        leaf_depth: dict[int, int] = {
+            shard_id: 0 for shard_id in range(base_shards)}
+        # (shard id, depth) -> new shard id taking the set-bit half.
+        split_at: dict[tuple[int, int], int] = {}
+        for parent, new_id in self.splits:
+            if parent not in leaf_depth:
+                raise ValueError(f"split parent {parent} is not a shard")
+            if new_id in leaf_depth:
+                raise ValueError(f"split target {new_id} already exists")
+            depth = leaf_depth[parent]
+            split_at[(parent, depth)] = new_id
+            leaf_depth[parent] = depth + 1
+            leaf_depth[new_id] = depth + 1
+        self._split_at = split_at
+        self._leaf_depth = leaf_depth
+        self.num_shards = base_shards + len(self.splits)
+
+    def shard_of(self, key: bytes) -> int:
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        shard_id = int.from_bytes(digest, "big") % self.base_shards
+        depth = 0
+        route_bits: int | None = None
+        while (shard_id, depth) in self._split_at:
+            if route_bits is None:
+                second = hashlib.blake2b(key, digest_size=8,
+                                         person=self._PERSON).digest()
+                route_bits = int.from_bytes(second, "big")
+            if (route_bits >> depth) & 1:
+                shard_id = self._split_at[(shard_id, depth)]
+            depth += 1
+        return shard_id
+
+    def with_split(self, parent: int, new_id: int) -> "SplitHashRing":
+        """A new ring in which ``parent`` has shed half its keys to
+        ``new_id``; validation happens in the constructor."""
+        return SplitHashRing(self.base_shards,
+                             self.splits + ((parent, new_id),))
+
+    def shards_overlapping(self, low: bytes, high: bytes) -> list[int]:
+        """Hashing scatters ranges: every shard may hold in-range keys."""
+        return list(range(self.num_shards))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SplitHashRing(base_shards={self.base_shards}, "
+                f"splits={self.splits})")
 
 
 class RangePartitioner:

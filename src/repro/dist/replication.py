@@ -1,0 +1,541 @@
+"""N-way shard replication with deterministic sequence replay.
+
+A :class:`ReplicaSet` is one logical shard realised as ``replication_factor``
+full copies of a :class:`~repro.core.database.SecondaryIndexedDB`.  Writes
+fan out synchronously: the first live replica (the *leader* for that
+operation) executes the write while a :class:`SequenceChannel` records the
+sequence numbers it drew from the cluster oracle; every follower then
+replays the same operation against the *recorded* allocation log, so all
+replicas stamp the write with byte-identical sequence numbers.  The
+follower's returned sequence is compared against the leader's — any drift
+is a hard :class:`ReplicaDivergenceError`, not a silent fork.
+
+Reads are served by the first live replica and fail over past downed ones.
+A replica that was down while writes were acked comes back ``stale``;
+read-repair reseeds it from the leader via the checkpoint machinery
+(:meth:`SecondaryIndexedDB.checkpoint` copies immutable SSTables plus a
+fresh self-contained manifest) before it serves again.
+
+The same channel log powers migration (:mod:`repro.dist.migration`): a
+journaled write carries its leader's allocation log, so replaying the WAL
+tail onto a destination shard reproduces the exact sequence numbers the
+source assigned — cross-shard top-K merges stay exact through a split.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.core.base import IndexKind, LookupResult
+from repro.core.database import SecondaryIndexedDB
+from repro.core.records import Document
+from repro.lsm.errors import InvalidArgumentError, LSMError
+from repro.lsm.options import Options
+from repro.lsm.vfs import VFS
+
+#: Replica lifecycle states.
+UP = "up"
+DOWN = "down"
+STALE = "stale"
+
+
+class ReplicationError(LSMError):
+    """Base class for replication failures."""
+
+
+class NoReplicaError(ReplicationError):
+    """Every replica of a shard is down; the operation cannot be acked."""
+
+
+class ReplicaDivergenceError(ReplicationError):
+    """A replica produced a different sequence than its leader recorded."""
+
+
+class SequenceChannel:
+    """Record/replay virtualisation of the cluster sequence oracle.
+
+    Each replica group owns one channel wired in as its databases'
+    ``Options.sequence_oracle``.  In *record* mode allocations pass through
+    to the real oracle and are logged as ``(count, first)`` pairs; in
+    *replay* mode allocations are answered from a previously recorded log
+    without touching the oracle at all.  Outside both modes the channel is
+    a transparent pass-through, so a ``replication_factor=1`` group
+    allocates exactly like the pre-replication cluster did.
+    """
+
+    def __init__(self, base_allocate: Callable[[int], int]) -> None:
+        self._base = base_allocate
+        self._recording: list[tuple[int, int]] | None = None
+        self._replaying: deque[tuple[int, int]] | None = None
+
+    def allocate(self, count: int) -> int:
+        if self._replaying is not None:
+            if not self._replaying:
+                raise ReplicaDivergenceError(
+                    "replica drew more sequence allocations than its "
+                    "leader recorded")
+            logged_count, first = self._replaying.popleft()
+            if logged_count != count:
+                raise ReplicaDivergenceError(
+                    f"replica asked for {count} sequences where its leader "
+                    f"recorded {logged_count}")
+            return first
+        first = self._base(count)
+        if self._recording is not None:
+            self._recording.append((count, first))
+        return first
+
+    def start_record(self) -> None:
+        self._recording = []
+
+    def finish_record(self) -> tuple[tuple[int, int], ...]:
+        log = tuple(self._recording or ())
+        self._recording = None
+        return log
+
+    def start_replay(self, log: Iterable[tuple[int, int]]) -> None:
+        self._replaying = deque(log)
+
+    def finish_replay(self) -> None:
+        leftover = self._replaying
+        self._replaying = None
+        if leftover:
+            raise ReplicaDivergenceError(
+                f"replica drew {len(leftover)} fewer sequence allocations "
+                f"than its leader recorded")
+
+    def abandon(self) -> None:
+        """Drop any in-progress record/replay (error-path cleanup)."""
+        self._recording = None
+        self._replaying = None
+
+
+class Replica:
+    """One physical copy of a shard: a database plus its lifecycle state."""
+
+    __slots__ = ("replica_id", "vfs", "db", "state", "applied")
+
+    def __init__(self, replica_id: int, vfs: VFS | None,
+                 db: SecondaryIndexedDB) -> None:
+        self.replica_id = replica_id
+        #: The replica's private filesystem (``None`` for the legacy
+        #: RF=1 in-memory layout, which cannot be killed and revived).
+        self.vfs = vfs
+        self.db = db
+        self.state = UP
+        #: Group operations this replica has applied (staleness bookkeeping).
+        self.applied = 0
+
+
+class ReplicaSet:
+    """``replication_factor`` synchronous copies of one logical shard.
+
+    Duck-types the slice of :class:`SecondaryIndexedDB` the cluster facade
+    uses (put/get/delete/lookup/range_lookup/scan/heal_indexes/...), so
+    ``ShardedDB`` routes to replica groups exactly as it used to route to
+    bare shards.
+    """
+
+    def __init__(self, shard_id: int, name: str, replicas: list[Replica],
+                 channel: SequenceChannel, indexes: Mapping[str, IndexKind],
+                 options: Options,
+                 step_hook: Callable[[str], None] | None = None) -> None:
+        self.shard_id = shard_id
+        self.name = name
+        self.replicas = replicas
+        self.channel = channel
+        self.indexes = dict(indexes)
+        self.options = options
+        self.step_hook = step_hook
+        #: Group write operations acked so far.
+        self.ops_applied = 0
+        #: Reads that had to route past a downed first replica.
+        self.failover_reads = 0
+        #: Stale replicas reseeded on the read path.
+        self.read_repairs = 0
+        #: Allocation log of the most recent acked write (for journaling).
+        self.last_alloc_log: tuple[tuple[int, int], ...] = ()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def open_legacy(cls, shard_id: int, indexes: Mapping[str, IndexKind],
+                    options: Options, channel: SequenceChannel,
+                    step_hook: Callable[[str], None] | None = None
+                    ) -> "ReplicaSet":
+        """The pre-replication layout: one in-memory replica whose index
+        tables each sit on their own metered VFS (the paper's per-table
+        I/O accounting).  Behaviour-identical to the old static ring."""
+        name = f"shard-{shard_id}"
+        db = SecondaryIndexedDB.open_memory(indexes=indexes, options=options,
+                                            name=name)
+        return cls(shard_id, name, [Replica(0, None, db)], channel,
+                   indexes, options, step_hook)
+
+    @classmethod
+    def open_replicated(cls, shard_id: int, vfs_list: list[VFS],
+                        indexes: Mapping[str, IndexKind], options: Options,
+                        channel: SequenceChannel,
+                        step_hook: Callable[[str], None] | None = None,
+                        name: str | None = None) -> "ReplicaSet":
+        """Open one replica per VFS (shared by that replica's tables so the
+        whole copy can be checkpoint-reseeded and reopened).  A VFS that
+        already holds a checkpoint recovers it — migration uses this to
+        open destination replicas over shipped SSTables."""
+        name = name or f"shard-{shard_id}"
+        replicas = []
+        for replica_id, vfs in enumerate(vfs_list):
+            db = SecondaryIndexedDB.open(vfs, name, indexes, options)
+            replicas.append(Replica(replica_id, vfs, db))
+        return cls(shard_id, name, replicas, channel, indexes, options,
+                   step_hook)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _hook(self, label: str) -> None:
+        if self.step_hook is not None:
+            self.step_hook(label)
+
+    # -- replica selection -------------------------------------------------
+
+    def _replica(self, replica_id: int) -> Replica:
+        for replica in self.replicas:
+            if replica.replica_id == replica_id:
+                return replica
+        raise InvalidArgumentError(
+            f"shard {self.shard_id} has no replica {replica_id}")
+
+    def _serving(self) -> Replica:
+        for replica in self.replicas:
+            if replica.state == UP:
+                if replica is not self.replicas[0]:
+                    self.failover_reads += 1
+                return replica
+        raise NoReplicaError(
+            f"shard {self.shard_id}: no live replica to serve reads")
+
+    def _read_replica(self) -> Replica:
+        for replica in self.replicas:
+            if replica.state == STALE:
+                self.reseed(replica)
+                self.read_repairs += 1
+        return self._serving()
+
+    @property
+    def primary(self):
+        """The serving replica's primary table (GSI rebuild + validation)."""
+        return self._serving().db.primary
+
+    @property
+    def checker(self):
+        return self._serving().db.checker
+
+    # -- write fan-out -----------------------------------------------------
+
+    def put(self, key: bytes, document: Document,
+            on_commit: Callable[[int, tuple[tuple[int, int], ...]], None]
+            | None = None) -> int:
+        return self._apply("put", key, document, hooked=True,
+                           on_commit=on_commit)
+
+    def delete(self, key: bytes,
+               on_commit: Callable[[int, tuple[tuple[int, int], ...]], None]
+               | None = None) -> int:
+        return self._apply("delete", key, None, hooked=True,
+                           on_commit=on_commit)
+
+    def apply_local(self, op: str, key: bytes,
+                    document: Document | None) -> int:
+        """Internal write (migration cleanup): fan out without yield
+        points, so a whole batch stays one atomic step under the
+        deterministic scheduler."""
+        return self._apply(op, key, document, hooked=False)
+
+    def _invoke(self, replica: Replica, op: str, key: bytes,
+                document: Document | None) -> int:
+        if op == "put":
+            return replica.db.put(key, document)
+        if op == "delete":
+            return replica.db.delete(key)
+        raise InvalidArgumentError(f"unknown replicated op {op!r}")
+
+    def _apply(self, op: str, key: bytes, document: Document | None,
+               hooked: bool,
+               on_commit: Callable[[int, tuple[tuple[int, int], ...]], None]
+               | None = None) -> int:
+        result: int | None = None
+        log: tuple[tuple[int, int], ...] | None = None
+        try:
+            for replica in self.replicas:
+                if replica.state != UP:
+                    continue
+                if hooked:
+                    self._hook(f"repl:{op}:s{self.shard_id}:r"
+                               f"{replica.replica_id}")
+                    if replica.state != UP:
+                        continue  # killed at the yield point just above
+                if log is None:
+                    self.channel.start_record()
+                    result = self._invoke(replica, op, key, document)
+                    log = self.channel.finish_record()
+                else:
+                    self.channel.start_replay(log)
+                    echoed = self._invoke(replica, op, key, document)
+                    self.channel.finish_replay()
+                    if echoed != result:
+                        raise ReplicaDivergenceError(
+                            f"shard {self.shard_id} replica "
+                            f"{replica.replica_id}: {op} returned seq "
+                            f"{echoed}, leader recorded {result}")
+                replica.applied += 1
+        except BaseException:
+            self.channel.abandon()
+            raise
+        if log is None:
+            raise NoReplicaError(
+                f"shard {self.shard_id}: no live replica; {op} not acked")
+        self.ops_applied += 1
+        self.last_alloc_log = log
+        if on_commit is not None:
+            # Runs inside the commit's atomic chunk, *before* the ack
+            # yield point: a migration journaling this write can never
+            # observe a committed-but-unjournaled gap.
+            on_commit(result, log)
+        if hooked:
+            self._hook(f"repl:ack:s{self.shard_id}")
+        return result  # type: ignore[return-value]
+
+    def apply_replayed(self, op: str, key: bytes,
+                       document: Document | None,
+                       alloc_log: tuple[tuple[int, int], ...],
+                       expected_seq: int) -> int:
+        """Replay a journaled write (migration WAL tail) on every live
+        replica against the originating leader's allocation log."""
+        applied = False
+        try:
+            for replica in self.replicas:
+                if replica.state != UP:
+                    continue
+                self.channel.start_replay(alloc_log)
+                seq = self._invoke(replica, op, key, document)
+                self.channel.finish_replay()
+                if seq != expected_seq:
+                    raise ReplicaDivergenceError(
+                        f"shard {self.shard_id} replica "
+                        f"{replica.replica_id}: replayed {op} returned seq "
+                        f"{seq}, journal recorded {expected_seq}")
+                replica.applied += 1
+                applied = True
+        except BaseException:
+            self.channel.abandon()
+            raise
+        if not applied:
+            raise NoReplicaError(
+                f"shard {self.shard_id}: no live replica for replay")
+        self.ops_applied += 1
+        return expected_seq
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: bytes) -> Document | None:
+        return self._read_replica().db.get(key)
+
+    def get_with_seq(self, key: bytes) -> tuple[bytes, int] | None:
+        return self._read_replica().db.primary.get_with_seq(key)
+
+    def lookup(self, attribute: str, value: Any, k: int | None = None,
+               early_termination: bool = True) -> list[LookupResult]:
+        return self._read_replica().db.lookup(attribute, value, k,
+                                              early_termination)
+
+    def range_lookup(self, attribute: str, low: Any, high: Any,
+                     k: int | None = None,
+                     early_termination: bool = True) -> list[LookupResult]:
+        return self._read_replica().db.range_lookup(attribute, low, high, k,
+                                                    early_termination)
+
+    def scan(self, low=None, high=None):
+        return self._read_replica().db.scan(low, high)
+
+    # -- failure & repair --------------------------------------------------
+
+    def kill(self, replica_id: int) -> None:
+        """Simulate abrupt replica loss: the process dies, its filesystem
+        (when it has one) keeps whatever was durably applied."""
+        replica = self._replica(replica_id)
+        if replica.state == DOWN:
+            raise InvalidArgumentError(
+                f"shard {self.shard_id} replica {replica_id} already down")
+        replica.state = DOWN
+        try:
+            replica.db.close()
+        except Exception:  # noqa: BLE001 - dying replicas close best-effort
+            pass
+
+    def revive(self, replica_id: int) -> str:
+        """Restart a downed replica from its surviving files (WAL replay
+        runs inside ``open``).  Returns the resulting state: ``up`` when
+        it missed nothing, ``stale`` when writes were acked without it —
+        a stale replica is reseeded before it serves (read repair) and
+        never votes in a write fan-out."""
+        replica = self._replica(replica_id)
+        if replica.state != DOWN:
+            raise InvalidArgumentError(
+                f"shard {self.shard_id} replica {replica_id} is not down")
+        if replica.vfs is None:
+            raise InvalidArgumentError(
+                f"shard {self.shard_id} replica {replica_id} has no "
+                f"durable filesystem to revive from")
+        replica.db = SecondaryIndexedDB.open(replica.vfs, self.name,
+                                             self.indexes, self.options)
+        replica.state = UP if replica.applied == self.ops_applied else STALE
+        return replica.state
+
+    def reseed(self, replica: Replica) -> None:
+        """Rebuild one replica as a byte-faithful copy of the leader.
+
+        The leader's checkpoint ships its immutable SSTables plus a fresh
+        manifest; internal sequence numbers are preserved exactly, so the
+        reseeded replica answers every query identically to the leader and
+        rejoins the write fan-out with the group's applied count."""
+        source = None
+        for candidate in self.replicas:
+            if candidate is not replica and candidate.state == UP:
+                source = candidate
+                break
+        if source is None:
+            raise NoReplicaError(
+                f"shard {self.shard_id}: no live replica to reseed "
+                f"replica {replica.replica_id} from")
+        if replica.vfs is None:
+            raise InvalidArgumentError(
+                f"shard {self.shard_id} replica {replica.replica_id} has "
+                f"no durable filesystem to reseed")
+        if replica.state != DOWN:
+            try:
+                replica.db.close()
+            except Exception:  # noqa: BLE001 - superseded copy
+                pass
+        for name in list(replica.vfs.list_dir(self.name + "/")):
+            replica.vfs.delete_if_exists(name)
+        source.db.checkpoint(replica.vfs, self.name)
+        replica.db = SecondaryIndexedDB.open(replica.vfs, self.name,
+                                             self.indexes, self.options)
+        replica.state = UP
+        replica.applied = self.ops_applied
+
+    def repair(self) -> list[int]:
+        """Reseed every stale (revived-but-behind) replica; returns the
+        replica ids repaired."""
+        repaired = []
+        for replica in self.replicas:
+            if replica.state == STALE:
+                self.reseed(replica)
+                repaired.append(replica.replica_id)
+        return repaired
+
+    # -- anti-entropy ------------------------------------------------------
+
+    def content_digest(self, replica: Replica) -> str:
+        """Order-sensitive digest of the replica's live records + seqs."""
+        hasher = hashlib.blake2b(digest_size=16)
+        for key, value, seq in replica.db.primary.scan_with_seq():
+            hasher.update(len(key).to_bytes(4, "big"))
+            hasher.update(key)
+            hasher.update(len(value).to_bytes(4, "big"))
+            hasher.update(value)
+            hasher.update(seq.to_bytes(8, "big"))
+        return hasher.hexdigest()
+
+    def replica_digests(self) -> dict[int, str]:
+        return {replica.replica_id: self.content_digest(replica)
+                for replica in self.replicas if replica.state != DOWN}
+
+    def anti_entropy(self, block_budget: int | None = None) -> dict:
+        """Scrub every live replica, then reseed any copy that diverged.
+
+        The write-fan-out leader (first UP replica) is authoritative: its
+        checkpoint overwrites any replica whose scrub found problems or
+        whose content digest disagrees.  Returns a summary dict."""
+        summary: dict[str, Any] = {"scrub_problems": [], "reseeded": []}
+        for replica in self.replicas:
+            if replica.state != UP:
+                continue
+            reports = self.scrub_replica(replica, block_budget)
+            for table, report in reports.items():
+                for problem in report.problems:
+                    summary["scrub_problems"].append(
+                        f"r{replica.replica_id}:{table}: {problem}")
+        leader = self._serving()
+        leader_digest = self.content_digest(leader)
+        for replica in self.replicas:
+            if replica is leader or replica.state == DOWN:
+                continue
+            if (replica.state == STALE
+                    or replica.db.primary.quarantined_tables()
+                    or self.content_digest(replica) != leader_digest):
+                self.reseed(replica)
+                summary["reseeded"].append(replica.replica_id)
+        return summary
+
+    def scrub_replica(self, replica: Replica,
+                      block_budget: int | None = None) -> dict:
+        """Run the PR 4 scrubber over one replica's tables."""
+        reports = {"primary": replica.db.primary.scrub(block_budget)}
+        for attribute, index in replica.db.indexes.items():
+            index_db = getattr(index, "index_db", None)
+            if index_db is not None:
+                reports[f"index:{attribute}"] = index_db.scrub(block_budget)
+        return reports
+
+    # -- maintenance plumbing (cluster facade surface) ---------------------
+
+    def heal_indexes(self) -> dict[str, int]:
+        healed: dict[str, int] = {}
+        for replica in self.replicas:
+            if replica.state != UP:
+                continue
+            for attribute, replayed in replica.db.heal_indexes().items():
+                healed[attribute] = max(healed.get(attribute, 0), replayed)
+        return healed
+
+    def flush(self) -> None:
+        for replica in self.replicas:
+            if replica.state == UP:
+                replica.db.flush()
+
+    def verify_integrity(self) -> dict[str, Any]:
+        """Integrity reports for every live replica's tables."""
+        reports: dict[str, Any] = {}
+        for replica in self.replicas:
+            if replica.state == DOWN:
+                continue
+            for table, report in replica.db.verify_integrity().items():
+                reports[f"r{replica.replica_id}:{table}"] = report
+        return reports
+
+    def total_size(self) -> int:
+        return self._serving().db.total_size()
+
+    def status(self) -> dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "replicas": [{"replica_id": replica.replica_id,
+                          "state": replica.state,
+                          "applied": replica.applied}
+                         for replica in self.replicas],
+            "ops_applied": self.ops_applied,
+            "failover_reads": self.failover_reads,
+            "read_repairs": self.read_repairs,
+        }
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            if replica.state == DOWN:
+                continue
+            try:
+                replica.db.close()
+            except Exception:  # noqa: BLE001 - closing a faulted replica
+                pass

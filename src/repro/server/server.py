@@ -168,6 +168,14 @@ class Server:
             self._lock: threading.Lock | None = \
                 None if db.options.background_compaction \
                 else threading.Lock()
+        elif hasattr(db, "data_shards"):
+            # ShardedDB (duck-typed): the cluster facade expects one
+            # mutating call at a time (replica fan-out + GSI maintenance),
+            # so every op serializes behind the dispatch lock.
+            self.db = db
+            self._primary = None
+            self._indexed = db
+            self._lock = threading.Lock()
         else:
             # SecondaryIndexedDB (duck-typed): index maintenance and
             # validation are not concurrency-safe, so every op serializes,
@@ -176,7 +184,8 @@ class Server:
             self._primary = db.primary
             self._indexed = db
             self._lock = threading.Lock()
-        self._step_hook = self._primary.options.step_hook
+        self._step_hook = self._primary.options.step_hook \
+            if self._primary is not None else getattr(db, "_step_hook", None)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -595,7 +604,8 @@ class Server:
         return [[r.key, r.document, r.seq] for r in results]
 
     def _op_stats(self) -> dict:
-        stats = self._primary.stats()
+        stats = self.db.stats() if self._primary is None \
+            else self._primary.stats()
         return {
             "db": _jsonish(stats),
             "server": self.stats.as_dict(),

@@ -273,10 +273,32 @@ def cmd_profile(workload: str, ops: int, top: int, out: IO[str]) -> int:
     return 0
 
 
+def _parse_index_map(indexes: str, out: IO[str]):
+    """Parse ``attr=kind,...`` into ``{attr: IndexKind}``; None on error."""
+    from repro.core.base import IndexKind
+
+    index_map = {}
+    for spec in indexes.split(","):
+        attribute, _, kind = spec.partition("=")
+        if not attribute or not kind:
+            out.write(f"bad --indexes entry {spec!r} "
+                      "(want attr=kind)\n")
+            return None
+        try:
+            index_map[attribute] = IndexKind(kind.lower())
+        except ValueError:
+            choices = ", ".join(k.value for k in IndexKind)
+            out.write(f"unknown index kind {kind!r} "
+                      f"(choose from {choices})\n")
+            return None
+    return index_map
+
+
 def cmd_serve(directory: str, name: str, out: IO[str], host: str,
               port: int, indexes: str | None, sync: bool,
               max_inflight: int, compaction_processes: int = 0,
-              shm_cache_bytes: int = 0) -> int:
+              shm_cache_bytes: int = 0, shards: int = 0,
+              replication: int = 1) -> int:
     """Serve one database over the framed socket protocol (ROADMAP item 1).
 
     Without ``--indexes`` the database is served raw (keys and values are
@@ -285,32 +307,45 @@ def cmd_serve(directory: str, name: str, out: IO[str], host: str,
     :class:`~repro.core.database.SecondaryIndexedDB` and also serves
     LOOKUP/RANGELOOKUP (single-writer: operations serialize server-side).
 
+    ``--shards N`` serves a :class:`~repro.dist.cluster.ShardedDB` instead:
+    N hash-ring shards under ``directory`` (each replica in its own
+    subdirectory, recovered on restart), ``--replication R`` synchronous
+    copies per shard, with ``--indexes`` becoming each shard's local
+    indexes.
+
     Prints ``listening on HOST:PORT`` once the socket is bound; runs until
     interrupted (Ctrl-C / SIGTERM).
     """
+    import os as _os
     import time as _time
 
     from repro.server import Server
 
-    if indexes:
-        from repro.core.base import IndexKind
+    if shards:
+        from repro.dist.cluster import ShardedDB
+
+        index_map = _parse_index_map(indexes, out) if indexes else {}
+        if index_map is None:
+            return 2
+
+        def shard_vfs(shard_id: int, replica_id: int) -> LocalVFS:
+            return LocalVFS(_os.path.join(
+                directory, f"{name}-s{shard_id}-r{replica_id}"))
+
+        db: object = ShardedDB.open(
+            shard_vfs, num_shards=shards, replication_factor=replication,
+            local_indexes=index_map,
+            options=Options(sync_writes=sync,
+                            compaction_processes=compaction_processes,
+                            shm_cache_bytes=shm_cache_bytes))
+        closer = db.close
+    elif indexes:
         from repro.core.database import SecondaryIndexedDB
 
-        index_map = {}
-        for spec in indexes.split(","):
-            attribute, _, kind = spec.partition("=")
-            if not attribute or not kind:
-                out.write(f"bad --indexes entry {spec!r} "
-                          "(want attr=kind)\n")
-                return 2
-            try:
-                index_map[attribute] = IndexKind(kind.lower())
-            except ValueError:
-                choices = ", ".join(k.value for k in IndexKind)
-                out.write(f"unknown index kind {kind!r} "
-                          f"(choose from {choices})\n")
-                return 2
-        db: object = SecondaryIndexedDB.open(
+        index_map = _parse_index_map(indexes, out)
+        if index_map is None:
+            return 2
+        db = SecondaryIndexedDB.open(
             LocalVFS(directory), name, indexes=index_map,
             options=Options(sync_writes=sync,
                             compaction_processes=compaction_processes,
@@ -386,6 +421,13 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
     serve.add_argument("--shm-cache-bytes", type=int, default=0,
                        help="shared-memory block cache size shared with "
                             "compaction workers (default 0 = off)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="serve a ShardedDB with N hash-ring shards "
+                            "(default 0 = single database; --indexes become "
+                            "per-shard local indexes)")
+    serve.add_argument("--replication", type=int, default=1,
+                       help="synchronous replicas per shard (with --shards; "
+                            "default 1)")
     args = parser.parse_args(argv)
     if args.command == "stats":
         return cmd_stats(args.directory, args.name, out)
@@ -401,5 +443,6 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
         return cmd_serve(args.directory, args.name, out, args.host,
                          args.port, args.indexes, args.sync,
                          args.max_inflight, args.compaction_processes,
-                         args.shm_cache_bytes)
+                         args.shm_cache_bytes, args.shards,
+                         args.replication)
     return cmd_verify(args.directory, args.name, out)

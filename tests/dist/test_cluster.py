@@ -6,7 +6,8 @@ import pytest
 
 from repro.core.base import IndexKind
 from repro.dist.cluster import SequenceOracle, ShardedDB
-from repro.dist.partitioner import HashPartitioner
+from repro.dist.partitioner import (HashPartitioner, RangePartitioner,
+                                    SplitHashRing)
 from repro.lsm.errors import DBClosedError, InvalidArgumentError
 from repro.lsm.options import Options
 
@@ -67,6 +68,99 @@ class TestPartitioner:
     def test_invalid_shard_count(self):
         with pytest.raises(ValueError):
             HashPartitioner(0)
+        with pytest.raises(ValueError):
+            SplitHashRing(0)
+        with pytest.raises(ValueError):
+            HashPartitioner(-1)
+
+    def test_single_shard_routes_everything_to_zero(self):
+        for partitioner in (HashPartitioner(1), SplitHashRing(1),
+                            RangePartitioner([])):
+            for i in range(50):
+                assert partitioner.shard_of(f"key{i}".encode()) == 0
+            assert partitioner.shards_overlapping(b"a", b"z") == [0]
+
+    def test_hash_ranges_scatter_to_every_shard(self):
+        partitioner = HashPartitioner(4)
+        assert partitioner.shards_overlapping(b"a", b"b") == [0, 1, 2, 3]
+
+
+class TestRangePartitioner:
+    def test_boundary_keys(self):
+        partitioner = RangePartitioner([b"g", b"p"])
+        assert partitioner.num_shards == 3
+        assert partitioner.shard_of(b"") == 0          # below everything
+        assert partitioner.shard_of(b"a") == 0
+        assert partitioner.shard_of(b"fzzz") == 0      # just under a split
+        assert partitioner.shard_of(b"g") == 1         # at a split: right
+        assert partitioner.shard_of(b"g\x00") == 1
+        assert partitioner.shard_of(b"p") == 2         # at the last split
+        assert partitioner.shard_of(b"zzz") == 2       # above everything
+
+    def test_overlap_is_interval_precise(self):
+        partitioner = RangePartitioner([b"g", b"p"])
+        assert partitioner.shards_overlapping(b"a", b"c") == [0]
+        assert partitioner.shards_overlapping(b"a", b"g") == [0, 1]
+        assert partitioner.shards_overlapping(b"h", b"z") == [1, 2]
+        assert partitioner.shards_overlapping(b"a", b"z") == [0, 1, 2]
+        assert partitioner.shards_overlapping(b"z", b"a") == []  # empty
+
+    def test_invalid_split_points(self):
+        with pytest.raises(ValueError):
+            RangePartitioner([b"p", b"g"])      # unsorted
+        with pytest.raises(ValueError):
+            RangePartitioner([b"g", b"g"])      # duplicate
+
+
+class TestSplitHashRing:
+    def test_unsplit_ring_matches_hash_partitioner(self):
+        for num_shards in (1, 2, 4, 7):
+            ring = SplitHashRing(num_shards)
+            flat = HashPartitioner(num_shards)
+            for i in range(500):
+                key = f"key{i}".encode()
+                assert ring.shard_of(key) == flat.shard_of(key)
+
+    def test_split_only_remaps_the_parents_keys(self):
+        ring = SplitHashRing(4)
+        split = ring.with_split(2, 4)
+        moved = 0
+        for i in range(2000):
+            key = f"key{i}".encode()
+            before, after = ring.shard_of(key), split.shard_of(key)
+            if before != 2:
+                assert after == before  # other shards never remapped
+            else:
+                assert after in (2, 4)
+                moved += after == 4
+        assert moved > 100  # roughly half of shard 2's keys actually move
+
+    def test_repeated_splits_quarter_the_keyspace(self):
+        ring = SplitHashRing(2).with_split(0, 2).with_split(0, 3)
+        assert ring.num_shards == 4
+        counts = [0] * 4
+        for i in range(4000):
+            counts[ring.shard_of(f"key{i}".encode())] += 1
+        # Shard 1 kept its half; shards 0, 2 and 3 split the other half.
+        assert counts[1] > 1400
+        assert all(count > 300 for count in (counts[0], counts[2],
+                                             counts[3]))
+
+    def test_split_validation(self):
+        ring = SplitHashRing(2)
+        with pytest.raises(ValueError):
+            ring.with_split(5, 2)        # parent is not a shard
+        with pytest.raises(ValueError):
+            ring.with_split(0, 1)        # target already exists
+        with pytest.raises(ValueError):
+            ring.with_split(0, 2).with_split(1, 2)  # duplicate target
+
+    def test_split_is_immutable_and_overlap_scatters(self):
+        ring = SplitHashRing(2)
+        split = ring.with_split(0, 2)
+        assert ring.num_shards == 2      # original ring untouched
+        assert split.num_shards == 3
+        assert split.shards_overlapping(b"a", b"z") == [0, 1, 2]
 
 
 class TestSequenceOracle:
@@ -241,8 +335,8 @@ class TestWritePathSequenceAttribution:
         racer_seqs = []
         real_delete = shard.delete
 
-        def racing_delete(key_bytes):
-            seq = real_delete(key_bytes)
+        def racing_delete(key_bytes, on_commit=None):
+            seq = real_delete(key_bytes, on_commit=on_commit)
             # A concurrent writer lands on the same shard before the
             # router gets to look at anything else.
             racer_seqs.append(shard.put(b"racer", {"UserID": "u002"}))
@@ -299,11 +393,10 @@ class TestGlobalIndexFaultContainment:
         assert cluster.dirty_global_indexes() == ["UserID"]
 
         # Writes while dirty skip the ring (the rebuild replays them).
-        cluster.put("t99999", {"UserID": "u001"})
+        t9_seq = cluster.put("t99999", {"UserID": "u001"})
         cluster.delete("t99998")
         assert cluster.dirty_global_indexes() == ["UserID"]
         oracle.pop("t99998", None)
-        _, t9_seq = cluster._routed_get_with_seq(b"t99999")
         oracle["t99999"] = ({"UserID": "u001"}, t9_seq)
 
         # The first query heals the ring; results must match the oracle

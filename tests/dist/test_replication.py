@@ -1,0 +1,277 @@
+"""Unit drills for the replication layer.
+
+Covers the pieces the scheduler drills compose: sequence-channel
+record/replay (byte-identical seqs across replicas), synchronous write
+fan-out, kill / revive / staleness bookkeeping, failover reads, read
+repair, and anti-entropy reseeding — including a GSI divergence healed
+back to exact query parity.
+"""
+
+import pytest
+
+from repro.core.base import IndexKind
+from repro.dist.cluster import SequenceOracle, ShardedDB
+from repro.dist.replication import (
+    DOWN,
+    STALE,
+    UP,
+    NoReplicaError,
+    ReplicaDivergenceError,
+    SequenceChannel,
+)
+from repro.lsm.errors import InvalidArgumentError
+from repro.lsm.options import Options
+
+
+def _options():
+    return Options(block_size=1024, sstable_target_size=4 * 1024,
+                   memtable_budget=4 * 1024, l1_target_size=16 * 1024)
+
+
+def _cluster(rf=3, shards=2, **kwargs):
+    kwargs.setdefault("local_indexes", {"UserID": IndexKind.LAZY})
+    return ShardedDB.open_memory(num_shards=shards, replication_factor=rf,
+                                 options=_options(), **kwargs)
+
+
+def _key_on_shard(cluster, shard_id, start=0):
+    for i in range(start, start + 10_000):
+        key = f"pin{i:05d}"
+        if cluster.ring.shard_of(key.encode()) == shard_id:
+            return key
+    raise AssertionError(f"no key found for shard {shard_id}")
+
+
+class TestSequenceChannel:
+    def test_passthrough_outside_record_and_replay(self):
+        oracle = SequenceOracle()
+        channel = SequenceChannel(oracle.allocate)
+        first = channel.allocate(2)
+        second = channel.allocate(1)
+        assert second == first + 2
+        assert oracle.last_allocated == first + 2
+
+    def test_replay_echoes_the_recorded_allocations(self):
+        oracle = SequenceOracle()
+        channel = SequenceChannel(oracle.allocate)
+        channel.start_record()
+        first = channel.allocate(2)
+        second = channel.allocate(1)
+        log = channel.finish_record()
+        assert log == ((2, first), (1, second))
+        before = oracle.last_allocated
+        channel.start_replay(log)
+        assert channel.allocate(2) == first
+        assert channel.allocate(1) == second
+        channel.finish_replay()
+        # Replay never touches the real oracle.
+        assert oracle.last_allocated == before
+
+    def test_replay_overdraw_is_divergence(self):
+        channel = SequenceChannel(SequenceOracle().allocate)
+        channel.start_replay(((1, 1),))
+        channel.allocate(1)
+        with pytest.raises(ReplicaDivergenceError):
+            channel.allocate(1)
+        channel.abandon()
+
+    def test_replay_count_mismatch_is_divergence(self):
+        channel = SequenceChannel(SequenceOracle().allocate)
+        channel.start_replay(((2, 1),))
+        with pytest.raises(ReplicaDivergenceError):
+            channel.allocate(1)
+        channel.abandon()
+
+    def test_replay_underdraw_is_divergence(self):
+        channel = SequenceChannel(SequenceOracle().allocate)
+        channel.start_replay(((1, 1), (1, 2)))
+        channel.allocate(1)
+        with pytest.raises(ReplicaDivergenceError):
+            channel.finish_replay()
+
+    def test_abandon_restores_passthrough(self):
+        oracle = SequenceOracle()
+        channel = SequenceChannel(oracle.allocate)
+        channel.start_replay(((5, 100),))
+        channel.abandon()
+        assert channel.allocate(1) == oracle.last_allocated
+
+
+class TestWriteFanOut:
+    def test_replicas_are_byte_identical_after_writes(self):
+        with _cluster(rf=3) as cluster:
+            for i in range(60):
+                cluster.put(f"k{i:03d}", {"UserID": f"u{i % 7}", "n": i})
+            for i in range(0, 60, 5):
+                cluster.delete(f"k{i:03d}")
+            for group in cluster.data_shards:
+                digests = set(group.replica_digests().values())
+                assert len(digests) == 1
+                for replica in group.replicas:
+                    assert replica.applied == group.ops_applied
+
+    def test_sequence_numbers_match_across_replicas(self):
+        with _cluster(rf=2) as cluster:
+            seqs = {f"k{i}": cluster.put(f"k{i}", {"UserID": "u", "n": i})
+                    for i in range(20)}
+            for key, seq in seqs.items():
+                group = cluster.data_shards[
+                    cluster.ring.shard_of(key.encode())]
+                for replica in group.replicas:
+                    got = replica.db.primary.get_with_seq(key.encode())
+                    assert got is not None and got[1] == seq
+
+    def test_write_with_no_live_replica_is_not_acked(self):
+        with _cluster(rf=2) as cluster:
+            key = _key_on_shard(cluster, 0)
+            cluster.put(key, {"UserID": "u0"})
+            cluster.kill_replica(0, 0)
+            cluster.kill_replica(0, 1)
+            ops_before = cluster.data_shards[0].ops_applied
+            with pytest.raises(NoReplicaError):
+                cluster.put(key, {"UserID": "u1"})
+            assert cluster.data_shards[0].ops_applied == ops_before
+            assert cluster.revive_replica(0, 0) == "up"
+            assert cluster.revive_replica(0, 1) == "up"
+            # The un-acked write left no trace; new writes ack normally.
+            assert cluster.get(key) == {"UserID": "u0"}
+            cluster.put(key, {"UserID": "u2"})
+            assert cluster.get(key) == {"UserID": "u2"}
+
+
+class TestKillReviveStale:
+    def test_revive_after_missed_writes_is_stale_then_repaired(self):
+        with _cluster(rf=2, shards=1) as cluster:
+            cluster.put("a", {"UserID": "u0"})
+            cluster.kill_replica(0, 1)
+            assert cluster.data_shards[0].replicas[1].state == DOWN
+            for i in range(10):
+                cluster.put(f"b{i}", {"UserID": "u1", "n": i})
+            assert cluster.revive_replica(0, 1) == "stale"
+            assert cluster.data_shards[0].replicas[1].state == STALE
+            repaired = cluster.repair_shard(0)
+            assert repaired == [1]
+            group = cluster.data_shards[0]
+            assert group.replicas[1].state == UP
+            assert len(set(group.replica_digests().values())) == 1
+
+    def test_read_repair_reseeds_a_stale_replica(self):
+        with _cluster(rf=2, shards=1) as cluster:
+            cluster.put("a", {"UserID": "u0"})
+            cluster.kill_replica(0, 0)
+            cluster.put("b", {"UserID": "u1"})
+            cluster.revive_replica(0, 0)
+            group = cluster.data_shards[0]
+            assert group.replicas[0].state == STALE
+            assert cluster.get("b") == {"UserID": "u1"}
+            assert group.read_repairs == 1
+            assert group.replicas[0].state == UP
+            assert len(set(group.replica_digests().values())) == 1
+
+    def test_revive_with_nothing_missed_is_up(self):
+        with _cluster(rf=2, shards=1) as cluster:
+            cluster.put("a", {"UserID": "u0"})
+            cluster.kill_replica(0, 1)
+            assert cluster.revive_replica(0, 1) == "up"
+            assert cluster.get("a") == {"UserID": "u0"}
+
+    def test_double_kill_and_revive_up_are_rejected(self):
+        with _cluster(rf=2, shards=1) as cluster:
+            cluster.kill_replica(0, 0)
+            with pytest.raises(InvalidArgumentError):
+                cluster.kill_replica(0, 0)
+            cluster.revive_replica(0, 0)
+            with pytest.raises(InvalidArgumentError):
+                cluster.revive_replica(0, 0)
+
+    def test_legacy_single_copy_cannot_revive(self):
+        with _cluster(rf=1, shards=1) as cluster:
+            cluster.put("a", {"UserID": "u0"})
+            cluster.kill_replica(0, 0)
+            with pytest.raises(InvalidArgumentError):
+                cluster.revive_replica(0, 0)
+
+
+class TestFailoverReads:
+    def test_reads_fail_over_past_a_downed_leader(self):
+        with _cluster(rf=3, shards=1) as cluster:
+            expected = {}
+            for i in range(25):
+                doc = {"UserID": f"u{i % 4}", "n": i}
+                cluster.put(f"k{i:02d}", doc)
+                expected[f"k{i:02d}"] = doc
+            cluster.kill_replica(0, 0)
+            group = cluster.data_shards[0]
+            for key, doc in expected.items():
+                assert cluster.get(key) == doc
+            got = {r.key for r in cluster.lookup("UserID", "u1",
+                                                 early_termination=False)}
+            want = {k for k, d in expected.items() if d["UserID"] == "u1"}
+            assert got == want
+            assert group.failover_reads > 0
+            # Writes keep acking on the survivors.
+            cluster.put("extra", {"UserID": "u1"})
+            assert cluster.get("extra") == {"UserID": "u1"}
+
+
+class TestAntiEntropy:
+    def test_divergent_replica_is_reseeded_from_the_leader(self):
+        with _cluster(rf=2, shards=1) as cluster:
+            for i in range(15):
+                cluster.put(f"k{i:02d}", {"UserID": f"u{i % 3}", "n": i})
+            group = cluster.data_shards[0]
+            # Corrupt replica 1 logically: a write that never went through
+            # the group fan-out.
+            group.replicas[1].db.put(b"rogue", {"UserID": "u9"})
+            assert len(set(group.replica_digests().values())) == 2
+            summary = cluster.anti_entropy()
+            assert summary["shards"][0]["reseeded"] == [1]
+            assert len(set(group.replica_digests().values())) == 1
+            assert cluster.get("rogue") is None
+            report = cluster.verify_integrity()
+            assert all(r.ok for r in report.values())
+
+    def test_gsi_divergence_is_healed_to_exact_parity(self):
+        with ShardedDB.open_memory(num_shards=2, replication_factor=2,
+                                   global_indexes=("UserID",),
+                                   options=_options()) as cluster:
+            expected = {}
+            for i in range(10):
+                doc = {"UserID": f"u{i % 3}", "n": i}
+                cluster.put(f"k{i:02d}", doc)
+                expected[f"k{i:02d}"] = doc
+            gsi = cluster.global_indexes["UserID"]
+            original = gsi.on_put
+            state = {"armed": True}
+
+            def flaky(key, document, seq):
+                if state["armed"]:
+                    state["armed"] = False
+                    raise RuntimeError("index shard hiccup")
+                original(key, document, seq)
+
+            gsi.on_put = flaky
+            with pytest.raises(RuntimeError):
+                cluster.put("k99", {"UserID": "u0", "n": 99})
+            gsi.on_put = original
+            expected["k99"] = {"UserID": "u0", "n": 99}
+            assert cluster.dirty_global_indexes() == ["UserID"]
+            summary = cluster.anti_entropy()
+            assert summary["gsi_rebuilt"] == ["UserID"]
+            assert cluster.dirty_global_indexes() == []
+            for value in ("u0", "u1", "u2"):
+                got = {r.key for r in cluster.lookup("UserID", value,
+                                                     early_termination=False)}
+                want = {k for k, d in expected.items()
+                        if d["UserID"] == value}
+                assert got == want
+
+    def test_clean_cluster_passes_anti_entropy_untouched(self):
+        with _cluster(rf=2) as cluster:
+            for i in range(20):
+                cluster.put(f"k{i:02d}", {"UserID": f"u{i % 3}"})
+            summary = cluster.anti_entropy()
+            for shard_summary in summary["shards"].values():
+                assert shard_summary["scrub_problems"] == []
+                assert shard_summary["reseeded"] == []
+            assert summary["gsi_rebuilt"] == []
