@@ -42,6 +42,7 @@ from repro.core.records import (
 )
 from repro.dist.partitioner import HashPartitioner, SplitHashRing
 from repro.dist.replication import ReplicaSet, SequenceChannel
+from repro.dist.topology import ClusterManifest, load_cluster_manifest
 from repro.lsm.db import DB
 from repro.lsm.errors import InvalidArgumentError
 from repro.lsm.options import Options
@@ -240,7 +241,9 @@ class ShardedDB:
                  oracle: SequenceOracle, base_options: Options,
                  replication_factor: int,
                  local_indexes: Mapping[str, IndexKind],
-                 vfs_factory: Callable[[int, int], VFS] | None = None
+                 vfs_factory: Callable[[int, int], VFS] | None = None,
+                 meta_vfs: VFS | None = None,
+                 manifest: ClusterManifest | None = None
                  ) -> None:
         """Assembled by :meth:`open_memory` / :meth:`open`."""
         self.data_shards = data_shards
@@ -266,6 +269,10 @@ class ShardedDB:
         self._filter_owned = False
         self.splits_completed = 0
         self._closed = False
+        #: Filesystem holding the durable CLUSTER manifest (``None`` keeps
+        #: topology process-lifetime, the pre-durability behaviour).
+        self._meta_vfs = meta_vfs
+        self._manifest = manifest
 
     # -- construction ------------------------------------------------------
 
@@ -308,8 +315,8 @@ class ShardedDB:
              global_indexes: tuple[str, ...] = (),
              options: Options | None = None,
              num_index_shards: int | None = None,
-             global_split_points: Mapping[str, list] | None = None
-             ) -> "ShardedDB":
+             global_split_points: Mapping[str, list] | None = None,
+             meta_vfs: VFS | None = None) -> "ShardedDB":
         """Open (or recover) a cluster over durable filesystems.
 
         ``vfs_factory(shard_id, replica_id)`` supplies each replica's
@@ -317,14 +324,47 @@ class ShardedDB:
         (WAL replay inside ``DB.open``).  The sequence oracle resumes past
         the highest recovered sequence number, and global index rings —
         which live in memory — are rebuilt from the recovered shards.
+
+        ``meta_vfs`` makes the *topology* durable too: the cluster writes
+        a CLUSTER manifest (ring split list, replica-set shape, index
+        shapes — see :mod:`repro.dist.topology`) through it on every
+        topology change.  When the manifest already exists it is
+        authoritative: shard count, splits, replication factor and index
+        layout all come from it and the corresponding arguments are
+        ignored, so a cluster reopens onto exactly the topology it last
+        committed.  An interrupted split resolves here: a durable intent
+        whose flip never committed has its destination files purged
+        (old topology, zero orphans); a committed-but-unclean split has
+        its stray copies purged (new topology) — both idempotent.
         """
+        manifest = None
+        ring = None
+        global_shapes = None
+        if meta_vfs is not None:
+            manifest = load_cluster_manifest(meta_vfs)
+        if manifest is not None:
+            if manifest.in_flight is not None:
+                cls._purge_unflipped_split(vfs_factory, manifest)
+                manifest = manifest.evolve(in_flight=None)
+                manifest.save(meta_vfs)
+            num_shards = manifest.base_shards
+            replication_factor = manifest.replication_factor
+            local_indexes = {attribute: IndexKind(kind) for attribute, kind
+                             in manifest.local_indexes.items()}
+            global_shapes = manifest.global_indexes
+            global_indexes = tuple(sorted(global_shapes))
+            num_index_shards = None
+            global_split_points = None
+            ring = SplitHashRing.from_state(manifest.base_shards,
+                                            manifest.splits)
         oracle = SequenceOracle()
         base_options = replace(options or Options(),
                                sequence_oracle=oracle.allocate)
         cluster = cls._assemble(
             num_shards, local_indexes, global_indexes, oracle, base_options,
             replication_factor, num_index_shards, global_split_points,
-            vfs_factory=vfs_factory)
+            vfs_factory=vfs_factory, ring=ring, global_shapes=global_shapes,
+            meta_vfs=meta_vfs, manifest=manifest)
         recovered = 0
         for group in cluster.data_shards:
             for replica in group.replicas:
@@ -336,15 +376,55 @@ class ShardedDB:
                         recovered = max(recovered,
                                         index_db.versions.last_sequence)
         oracle.advance_past(recovered)
+        if manifest is not None and manifest.pending_cleanup:
+            # The flip committed but the stray purge never finished;
+            # rerun it (idempotent) before anything reads cross-shard.
+            cluster._purge_strays()
+            cluster._save_topology(pending_cleanup=False)
         if recovered:
             for attribute in list(cluster.global_indexes):
                 cluster.rebuild_global_index(attribute)
+        if meta_vfs is not None and manifest is None:
+            # Fresh cluster: make the base topology durable immediately,
+            # so a crash right after open still reopens consistently.
+            cluster._save_topology()
         return cluster
+
+    @staticmethod
+    def _purge_unflipped_split(vfs_factory: Callable[[int, int], VFS],
+                               manifest: ClusterManifest) -> None:
+        """Delete every file of a split whose intent is durable but whose
+        flip never committed — reopen lands on the old topology with zero
+        orphan shard directories."""
+        _source_id, new_id = manifest.in_flight
+        prefix = f"shard-{new_id}/"
+        for replica_id in range(manifest.replication_factor):
+            vfs = vfs_factory(new_id, replica_id)
+            for name in list(vfs.list_dir(prefix)):
+                vfs.delete_if_exists(name)
+
+    def _purge_strays(self) -> int:
+        """Delete records the current ring does not assign to their shard
+        (resumed split cleanup).  Idempotent; returns keys purged."""
+        purged = 0
+        ring = self.ring
+        for shard_id, group in enumerate(self.data_shards):
+            strays = [key for key, _value, _seq
+                      in group.primary.scan_with_seq()
+                      if ring.shard_of(key) != shard_id]
+            for key in strays:
+                group.apply_local("delete", key, None)
+                purged += 1
+            if strays:
+                group.flush()
+        return purged
 
     @classmethod
     def _assemble(cls, num_shards, local_indexes, global_indexes, oracle,
                   base_options, replication_factor, num_index_shards,
-                  global_split_points, vfs_factory) -> "ShardedDB":
+                  global_split_points, vfs_factory, ring=None,
+                  global_shapes=None, meta_vfs=None,
+                  manifest=None) -> "ShardedDB":
         from repro.dist.partitioner import RangePartitioner
 
         local_indexes = dict(local_indexes or {})
@@ -359,10 +439,11 @@ class ShardedDB:
                 f"split points for non-global attributes: {unknown}")
         if replication_factor < 1:
             raise InvalidArgumentError("replication_factor must be >= 1")
-        ring = SplitHashRing(num_shards)
+        if ring is None:
+            ring = SplitHashRing(num_shards)
         step_hook = base_options.step_hook
         groups: list[ReplicaSet] = []
-        for shard_id in range(num_shards):
+        for shard_id in range(ring.num_shards):
             channel = SequenceChannel(oracle.allocate)
             group_options = replace(base_options,
                                     sequence_oracle=channel.allocate)
@@ -380,10 +461,20 @@ class ShardedDB:
             groups.append(group)
         cluster = cls(groups, ring, set(local_indexes), {}, oracle,
                       base_options, replication_factor, local_indexes,
-                      vfs_factory)
+                      vfs_factory, meta_vfs=meta_vfs, manifest=manifest)
         checker = _RoutedValidity(cluster._routed_get_with_seq)
         for attribute in global_indexes:
-            if attribute in global_split_points:
+            if global_shapes is not None:
+                shape = global_shapes[attribute]
+                if shape.get("scheme") == "range":
+                    points = [bytes.fromhex(point)
+                              for point in shape["split_points"]]
+                    index_partitioner = RangePartitioner(points)
+                    ring_size = index_partitioner.num_shards
+                else:
+                    index_partitioner = None
+                    ring_size = int(shape["shards"])
+            elif attribute in global_split_points:
                 splits = [encode_attribute(value)
                           for value in global_split_points[attribute]]
                 index_partitioner = RangePartitioner(splits)
@@ -709,6 +800,11 @@ class ShardedDB:
         return self.begin_split(source_id).run()
 
     def _register_migration(self, migration) -> None:
+        # Durable intent FIRST: if the process dies after any destination
+        # file exists but before the flip, reopen finds the intent and
+        # purges the half-copied shard instead of orphaning it.
+        self._save_topology(in_flight=(migration.source_id,
+                                       migration.new_id))
         self._migration = migration
         self._filter_owned = True
 
@@ -717,15 +813,63 @@ class ShardedDB:
             self._migration = None
 
     def _complete_flip(self, migration) -> None:
-        """Publish the split: the new group joins the shard list *before*
-        the ring flips (the old ring never routes to it), then one
-        attribute assignment moves ownership."""
+        """Publish the split: the manifest commits the new topology first
+        (the durable decision point — a crash before the in-memory flip
+        reopens onto the new ring), then the new group joins the shard
+        list *before* the ring flips (the old ring never routes to it),
+        then one attribute assignment moves ownership."""
+        self._save_topology(
+            splits=self.ring.splits + ((migration.source_id,
+                                        migration.new_id),),
+            in_flight=None, pending_cleanup=True)
         self.data_shards.append(migration.dest)
         self.ring = migration.next_ring
         self.splits_completed += 1
         # The migration stays registered (and journaling) until cleanup:
         # a write that routed before this flip can still commit after it,
         # and its journal entry must reach the cleanup-chunk drain.
+
+    # -- durable topology --------------------------------------------------------
+
+    def _global_shapes(self) -> dict[str, dict[str, Any]]:
+        """The live GSI ring shapes in manifest form."""
+        from repro.dist.partitioner import RangePartitioner
+
+        shapes: dict[str, dict[str, Any]] = {}
+        for attribute, index in self.global_indexes.items():
+            partitioner = index.partitioner
+            if isinstance(partitioner, RangePartitioner):
+                shapes[attribute] = {
+                    "scheme": "range",
+                    "split_points": [point.hex() for point
+                                     in partitioner.split_points]}
+            else:
+                shapes[attribute] = {"scheme": "hash",
+                                     "shards": partitioner.num_shards}
+        return shapes
+
+    def _snapshot_manifest(self) -> ClusterManifest:
+        """A fresh manifest describing the live topology."""
+        return ClusterManifest(
+            base_shards=self.ring.base_shards,
+            replication_factor=self.replication_factor,
+            splits=self.ring.splits,
+            local_indexes={attribute: kind.value for attribute, kind
+                           in self.local_indexes.items()},
+            global_indexes=self._global_shapes())
+
+    def _save_topology(self, **changes: Any) -> None:
+        """Persist the next topology generation (no-op without a
+        ``meta_vfs``).  The in-memory manifest only advances once the
+        save is durable, so a failed write leaves both the file and our
+        view on the previous generation."""
+        if self._meta_vfs is None:
+            return
+        manifest = (self._manifest or self._snapshot_manifest())
+        if changes:
+            manifest = manifest.evolve(**changes)
+        manifest.save(self._meta_vfs)
+        self._manifest = manifest
 
     # -- anti-entropy ------------------------------------------------------------
 
@@ -845,6 +989,12 @@ class ShardedDB:
             "migration": None if migration is None else migration.status(),
             "global_indexes": sorted(self.global_indexes),
             "dirty_global_indexes": self.dirty_global_indexes(),
+            "topology": None if self._manifest is None else {
+                "durable": True,
+                "epoch": self._manifest.epoch,
+                "in_flight": self._manifest.in_flight,
+                "pending_cleanup": self._manifest.pending_cleanup,
+            },
         }
 
     def instrument(self, step_hook: Callable[[str], None] | None) -> None:

@@ -80,6 +80,7 @@ class ShardSplit:
         self.cluster = cluster
         self.source_id = source_id
         self.new_id = len(cluster.data_shards)
+        self.dest_name = f"shard-{self.new_id}"
         self.next_ring = cluster.ring.with_split(source_id, self.new_id)
         self._vfs_factory = vfs_factory or (lambda _replica_id: MemoryVFS())
         self.phase = "prepare"
@@ -165,7 +166,7 @@ class ShardSplit:
         leader = source._serving()
         channel = SequenceChannel(self.cluster.oracle.allocate)
         options = replace(source.options, sequence_oracle=channel.allocate)
-        name = f"shard-{self.new_id}"
+        name = self.dest_name
         self.dest_vfs = [self._vfs_factory(replica_id) for replica_id
                          in range(self.cluster.replication_factor)]
         for vfs in self.dest_vfs:
@@ -226,6 +227,9 @@ class ShardSplit:
         # Only now stop observing: any later straggler is re-routed by
         # the write path itself (it sees no in-flight migration).
         self.cluster._unregister_migration(self)
+        # Durable last: everything cleanup does is idempotent, so a crash
+        # before this line just re-runs the purge on reopen.
+        self.cluster._save_topology(pending_cleanup=False)
 
     # -- failure handling --------------------------------------------------
 
@@ -243,18 +247,25 @@ class ShardSplit:
         if self.dest is not None:
             self.dest.close()
             self.dest = None
+        # Scope the purge to the destination shard's name prefix: a drill
+        # may host every shard (and the cluster manifest) on one shared
+        # filesystem, and every file the split created lives under it.
         for vfs in self.dest_vfs:
-            for name in list(vfs.list_dir("")):
+            for name in list(vfs.list_dir(self.dest_name + "/")):
                 vfs.delete_if_exists(name)
         self.journal.clear()
+        if self.phase != "aborted":
+            # Files first, intent last: a crash in between re-purges the
+            # (now empty) prefix on reopen, never orphans it.
+            self.cluster._save_topology(in_flight=None)
         self.phase = "aborted"
 
     def orphan_files(self) -> list[str]:
-        """Files still present on destination filesystems (must be empty
-        after an abort — the drilled zero-orphans invariant)."""
+        """Files still present under the destination shard's prefix (must
+        be empty after an abort — the drilled zero-orphans invariant)."""
         leftovers: list[str] = []
         for replica_id, vfs in enumerate(self.dest_vfs):
-            for name in vfs.list_dir(""):
+            for name in vfs.list_dir(self.dest_name + "/"):
                 leftovers.append(f"r{replica_id}:{name}")
         return leftovers
 

@@ -108,6 +108,20 @@ class SplitHashRing:
         return SplitHashRing(self.base_shards,
                              self.splits + ((parent, new_id),))
 
+    def state(self) -> dict:
+        """The ring as plain data — what the cluster manifest persists."""
+        return {"base_shards": self.base_shards,
+                "splits": [list(pair) for pair in self.splits]}
+
+    @classmethod
+    def from_state(cls, base_shards: int,
+                   splits: "tuple[tuple[int, int], ...] | list" = ()
+                   ) -> "SplitHashRing":
+        """Rebuild a ring from persisted state (validates in __init__)."""
+        return cls(base_shards,
+                   tuple((int(parent), int(new_id))
+                         for parent, new_id in splits))
+
     def shards_overlapping(self, low: bytes, high: bytes) -> list[int]:
         """Hashing scatters ranges: every shard may hold in-range keys."""
         return list(range(self.num_shards))

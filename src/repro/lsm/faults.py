@@ -165,6 +165,10 @@ class FaultInjectingVFS(VFS):
         super().__init__()
         self._files: dict[str, _FaultedFile] = {}
         self.op_count = 0
+        #: One ``(kind, name)`` entry per counted mutating op — crash-point
+        #: drills use it to find the ops that touch a particular file
+        #: (``op_log[i]`` describes 1-based mutating op ``i + 1``).
+        self.op_log: list[tuple[str, str]] = []
         self.crashed = False
         self._fail_at: int | None = None
         self._fail_mode = "crash"
@@ -276,11 +280,12 @@ class FaultInjectingVFS(VFS):
         self._read_corruptions.append(
             _ReadCorruption(count, name_substring, category, mode))
 
-    def _mutate(self, kind: str = "write") -> None:
+    def _mutate(self, kind: str = "write", name: str = "") -> None:
         """Gate every mutating operation: count it, maybe fault, maybe crash."""
         if self.crashed:
             raise SimulatedCrashError("filesystem is down (simulated crash)")
         self.op_count += 1
+        self.op_log.append((kind, name))
         if self._fail_at is not None and self.op_count == self._fail_at:
             self._fail_at = None
             if self._fail_mode == "crash":
@@ -359,7 +364,7 @@ class FaultInjectingVFS(VFS):
     # -- VFS interface -------------------------------------------------------
 
     def create(self, name: str) -> WritableFile:
-        self._mutate("create")
+        self._mutate("create", name)
         file = _FaultedFile()
         self._files[name] = file
         return _FaultedWritable(self, name, file)
@@ -378,14 +383,14 @@ class FaultInjectingVFS(VFS):
         self._check_up()
         if name not in self._files:
             raise NotFoundError(f"no such file: {name}")
-        self._mutate("delete")
+        self._mutate("delete", name)
         del self._files[name]
 
     def rename(self, old: str, new: str) -> None:
         self._check_up()
         if old not in self._files:
             raise NotFoundError(f"no such file: {old}")
-        self._mutate("rename")
+        self._mutate("rename", new)
         self._files[new] = self._files.pop(old)
 
     def list_dir(self, prefix: str = "") -> list[str]:
@@ -410,7 +415,7 @@ class _FaultedWritable(WritableFile):
     def append(self, data: bytes, category: Category = Category.OTHER) -> None:
         if self._closed:
             raise ValueError(f"file already closed: {self._name}")
-        self._vfs._mutate("append")
+        self._vfs._mutate("append", self._name)
         self._file.data.extend(data)
         self._vfs.stats.record_write(len(data), category)
 
@@ -418,7 +423,7 @@ class _FaultedWritable(WritableFile):
         return None  # library-buffer flush: no device visibility
 
     def sync(self) -> None:
-        self._vfs._mutate("sync")
+        self._vfs._mutate("sync", self._name)
         self._file.durable = len(self._file.data)
 
     def close(self) -> None:

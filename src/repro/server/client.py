@@ -1,4 +1,4 @@
-"""Client for the serving layer: pooled connections, pipelining.
+"""Client for the serving layer: pooled connections, pipelining, retries.
 
 One :class:`Client` owns a pool of sockets.  Single-shot calls
 (:meth:`Client.put`, :meth:`Client.get`, ...) check a connection out,
@@ -21,14 +21,35 @@ serving layer's throughput comes from.
 
 Failures inside a pipeline surface as :class:`RemoteError` after *all*
 responses are drained, so the connection stays usable.
+
+Fault tolerance (opt-in): construct with ``retry=RetryPolicy(...)`` and
+every transient transport failure — refused connect, reset, torn frame,
+per-op timeout — is retried on a fresh connection with exponential
+backoff + jitter, up to the policy's deadline.  Reads are naturally
+idempotent and retried as-is; **writes** are wrapped in the ``apply``
+envelope (per-client UUID + monotonically increasing write sequence,
+assigned once per logical write, before the first attempt) so the
+server's dedup window recognizes a retry of an acked-but-lost write and
+replays the original result instead of applying it twice — the retried
+PUT returns the *same* sequence number the lost ack carried.  Without
+``retry`` the client behaves exactly as before: the first transport
+fault surfaces to the caller.
+
+A closed client raises :class:`ClientClosedError` from every call —
+including callers already blocked waiting for a pooled connection, which
+:meth:`Client.close` wakes instead of leaving parked forever.
 """
 
 from __future__ import annotations
 
 import queue
+import random
 import socket
 import threading
-from typing import Any, Iterator
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
 
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -40,7 +61,8 @@ from repro.server.protocol import (
     read_frame,
 )
 
-__all__ = ["Client", "Pipeline", "RemoteError"]
+__all__ = ["Client", "Pipeline", "RemoteError", "RetryPolicy",
+           "ClientClosedError"]
 
 
 class RemoteError(Exception):
@@ -56,12 +78,55 @@ class RemoteError(Exception):
         self.remote_message = message
 
 
+class ClientClosedError(ProtocolError):
+    """The client was closed; the call (even one already waiting for a
+    pooled connection) cannot proceed.  Never retried."""
+
+
+@dataclass
+class RetryPolicy:
+    """How a client survives transient transport faults.
+
+    Attempt *n* (0-based) backs off ``base_delay * 2**n`` capped at
+    ``max_delay``, shrunk by up to ``jitter`` (a 0..1 fraction) of itself
+    so a thundering herd decorrelates.  Retrying stops — re-raising the
+    last transport error — once ``deadline`` seconds have elapsed since
+    the call started.  ``sleep``/``clock``/``rng`` are injectable so
+    drills can run the policy deterministically and without wall-clock
+    waits.
+    """
+
+    deadline: float = 10.0
+    base_delay: float = 0.02
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+    rng: random.Random = field(default_factory=random.Random)
+
+    def backoff(self, attempt: int) -> float:
+        """The delay before retry number ``attempt`` (0-based)."""
+        delay = min(self.max_delay, self.base_delay * (2 ** attempt))
+        if self.jitter > 0:
+            delay *= 1.0 - self.jitter * self.rng.random()
+        return delay
+
+
+#: Pool sentinel: close() enqueues it to wake blocked waiters; every
+#: waiter that receives it puts it back for the next one and raises.
+_POOL_CLOSED: Any = object()
+
+#: Transport failures a RetryPolicy is allowed to absorb.  RemoteError is
+#: deliberately absent: the server *answered* — retrying cannot help.
+_TRANSIENT = (OSError, ProtocolError)
+
+
 class _Conn:
     """One pooled socket plus its request-id counter."""
 
     __slots__ = ("sock", "next_id", "broken")
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: Any) -> None:
         self.sock = sock
         self.next_id = 1
         self.broken = False
@@ -72,40 +137,70 @@ class Client:
 
     Thread-safe: up to ``pool_size`` threads run requests in parallel,
     each on its own connection; further threads wait for a free one.
+
+    ``timeout`` bounds connection establishment; ``op_timeout`` (when
+    set) bounds each request/response round trip on an established
+    connection — a hung server surfaces as ``socket.timeout`` (an
+    ``OSError``, so a retrying client treats it as transient).
+    ``connector`` replaces ``socket.create_connection`` — the hook the
+    network fault drills use to splice in a
+    :class:`~repro.server.netfaults.FaultInjectingTransport`.
     """
 
     def __init__(self, host: str, port: int, *, pool_size: int = 4,
                  timeout: float | None = 30.0,
-                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                 retry: RetryPolicy | None = None,
+                 op_timeout: float | None = None,
+                 connector: Callable[..., Any] | None = None) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         self._address = (host, port)
         self._timeout = timeout
+        self._op_timeout = op_timeout
         self._max_frame_bytes = max_frame_bytes
-        self._pool: queue.LifoQueue[_Conn] = queue.LifoQueue()
+        self._retry = retry
+        self._connector = connector or socket.create_connection
+        self._pool: queue.LifoQueue = queue.LifoQueue()
         self._pool_size = pool_size
         self._created = 0
         self._lock = threading.Lock()
         self._closed = False
+        # Idempotent-write identity: unique per client instance, with a
+        # per-write sequence assigned once per logical write (stable
+        # across retries) — the server's dedup key.
+        self._client_id = uuid.uuid4().hex
+        self._write_seq = 0
+
+    def _next_write_seq(self) -> int:
+        with self._lock:
+            self._write_seq += 1
+            return self._write_seq
 
     # -- pool -----------------------------------------------------------------
 
     def _connect(self) -> _Conn:
-        sock = socket.create_connection(self._address,
-                                        timeout=self._timeout)
+        sock = self._connector(self._address, timeout=self._timeout)
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
             pass
+        if self._op_timeout is not None:
+            sock.settimeout(self._op_timeout)
         return _Conn(sock)
 
     def _checkout(self) -> _Conn:
         if self._closed:
-            raise ProtocolError("client is closed")
+            raise ClientClosedError("client is closed")
         try:
-            return self._pool.get_nowait()
+            conn = self._pool.get_nowait()
         except queue.Empty:
             pass
+        else:
+            if conn is _POOL_CLOSED:
+                self._pool.put(_POOL_CLOSED)
+                raise ClientClosedError("client is closed")
+            return conn
         with self._lock:
             if self._created < self._pool_size:
                 self._created += 1
@@ -114,7 +209,11 @@ class Client:
                 except BaseException:
                     self._created -= 1
                     raise
-        return self._pool.get()
+        conn = self._pool.get()
+        if conn is _POOL_CLOSED:
+            self._pool.put(_POOL_CLOSED)
+            raise ClientClosedError("client is closed")
+        return conn
 
     def _release(self, conn: _Conn) -> None:
         if conn.broken or self._closed:
@@ -131,14 +230,24 @@ class Client:
             self._created -= 1
 
     def close(self) -> None:
-        """Close every pooled connection; in-flight calls may fail."""
-        self._closed = True
+        """Close every pooled connection and fail pending/future calls.
+
+        Threads blocked in checkout are woken with
+        :class:`ClientClosedError` (the sentinel re-propagates through
+        the pool), instead of hanging on an empty pool forever.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         while True:
             try:
                 conn = self._pool.get_nowait()
             except queue.Empty:
-                return
-            self._discard(conn)
+                break
+            if conn is not _POOL_CLOSED:
+                self._discard(conn)
+        self._pool.put(_POOL_CLOSED)
 
     def __enter__(self) -> "Client":
         return self
@@ -148,7 +257,7 @@ class Client:
 
     # -- request plumbing -----------------------------------------------------
 
-    def _call(self, op: str, args: list) -> Any:
+    def _call_once(self, op: str, args: list) -> Any:
         conn = self._checkout()
         try:
             request_id = conn.next_id
@@ -162,11 +271,44 @@ class Client:
         finally:
             self._release(conn)
 
+    def _call_with_retry(self, op: str, args: list) -> Any:
+        policy = self._retry
+        assert policy is not None
+        deadline = policy.clock() + policy.deadline
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(op, args)
+            except ClientClosedError:
+                raise
+            except _TRANSIENT as exc:
+                last_error = exc
+            now = policy.clock()
+            if now >= deadline:
+                raise last_error
+            delay = min(policy.backoff(attempt), deadline - now)
+            if delay > 0:
+                policy.sleep(delay)
+            attempt += 1
+
+    def _call(self, op: str, args: list) -> Any:
+        if self._retry is None:
+            return self._call_once(op, args)
+        return self._call_with_retry(op, args)
+
+    def _call_write(self, op: str, args: list) -> Any:
+        if self._retry is None:
+            return self._call_once(op, args)
+        # Envelope once, outside the retry loop: every attempt carries
+        # the same (client_id, seq), which is what makes it deduplicable.
+        envelope = [self._client_id, self._next_write_seq(), op, args]
+        return self._call_with_retry("apply", envelope)
+
     # -- operations -----------------------------------------------------------
 
     def put(self, key: Any, value: Any) -> int:
         """Write one key; returns the committed sequence number."""
-        return self._call("put", [key, value])
+        return self._call_write("put", [key, value])
 
     def get(self, key: Any) -> Any:
         """Read one key; ``None`` if absent."""
@@ -174,7 +316,7 @@ class Client:
 
     def delete(self, key: Any) -> int:
         """Delete one key; returns the tombstone's sequence number."""
-        return self._call("delete", [key])
+        return self._call_write("delete", [key])
 
     def scan(self, low: Any = None, high: Any = None,
              limit: int | None = None) -> list:
@@ -206,24 +348,30 @@ class Pipeline:
     Not thread-safe; one pipeline belongs to one caller.  Exiting the
     ``with`` block flushes; :attr:`results` then holds one entry per
     queued op, in order.
+
+    On a retrying client, a flush that hits a transport fault re-sends
+    the *whole* burst on a fresh connection: queued writes were wrapped
+    in dedup envelopes (sequence assigned at queue time, stable across
+    attempts) so re-applying is impossible, and queued reads simply
+    re-execute.  A torn burst therefore converges to exactly-once for
+    every write, whatever prefix of it the server saw.
     """
 
     def __init__(self, client: Client) -> None:
         self._client = client
         self._conn: _Conn | None = None
-        self._queued: list[tuple[int, bytes]] = []
+        self._queued: list[tuple[str, list]] = []
         self.results: list[Any] = []
 
     # -- queuing --------------------------------------------------------------
 
     def _queue_op(self, op: str, args: list) -> int:
         """Queue one request; returns its index into :attr:`results`."""
-        if self._conn is None:
-            self._conn = self._client._checkout()
-        request_id = self._conn.next_id
-        self._conn.next_id += 1
-        self._queued.append(
-            (request_id, encode_frame(encode_value([request_id, op, *args]))))
+        client = self._client
+        if client._retry is not None and op in ("put", "delete"):
+            args = [client._client_id, client._next_write_seq(), op, args]
+            op = "apply"
+        self._queued.append((op, args))
         return len(self._queued) - 1
 
     def put(self, key: Any, value: Any) -> int:
@@ -244,6 +392,38 @@ class Pipeline:
 
     # -- flushing -------------------------------------------------------------
 
+    def _attempt(self, queued: list[tuple[str, list]]
+                 ) -> tuple[list[Any], RemoteError | None]:
+        """One send-all/read-all pass; drops the connection on failure."""
+        if self._conn is None:
+            self._conn = self._client._checkout()
+        conn = self._conn
+        frames: list[bytes] = []
+        request_ids: list[int] = []
+        for op, args in queued:
+            request_id = conn.next_id
+            conn.next_id += 1
+            request_ids.append(request_id)
+            frames.append(encode_frame(encode_value([request_id, op, *args])))
+        try:
+            conn.sock.sendall(b"".join(frames))
+            batch: list[Any] = []
+            first_error: RemoteError | None = None
+            for request_id in request_ids:
+                try:
+                    batch.append(_read_response(
+                        conn, request_id, self._client._max_frame_bytes))
+                except RemoteError as exc:
+                    batch.append(exc)
+                    if first_error is None:
+                        first_error = exc
+            return batch, first_error
+        except (OSError, ProtocolError):
+            conn.broken = True
+            self._conn = None
+            self._client._release(conn)
+            raise
+
     def flush(self, raise_errors: bool = True) -> list:
         """Send everything queued, read every response, return results.
 
@@ -254,24 +434,28 @@ class Pipeline:
         """
         if not self._queued:
             return []
-        conn = self._conn
-        assert conn is not None
         queued, self._queued = self._queued, []
-        try:
-            conn.sock.sendall(b"".join(frame for _, frame in queued))
-            batch: list[Any] = []
-            first_error: RemoteError | None = None
-            for request_id, _ in queued:
+        policy = self._client._retry
+        if policy is None:
+            batch, first_error = self._attempt(queued)
+        else:
+            deadline = policy.clock() + policy.deadline
+            attempt = 0
+            while True:
                 try:
-                    batch.append(_read_response(
-                        conn, request_id, self._client._max_frame_bytes))
-                except RemoteError as exc:
-                    batch.append(exc)
-                    if first_error is None:
-                        first_error = exc
-        except (OSError, ProtocolError):
-            conn.broken = True
-            raise
+                    batch, first_error = self._attempt(queued)
+                    break
+                except ClientClosedError:
+                    raise
+                except _TRANSIENT as exc:
+                    last_error = exc
+                now = policy.clock()
+                if now >= deadline:
+                    raise last_error
+                delay = min(policy.backoff(attempt), deadline - now)
+                if delay > 0:
+                    policy.sleep(delay)
+                attempt += 1
         self.results.extend(batch)
         if first_error is not None and raise_errors:
             raise first_error

@@ -1,0 +1,293 @@
+"""Network fault injection: scheduled disconnects, torn frames, delays.
+
+The storage layer earns its crash-safety claims from
+:class:`~repro.lsm.faults.FaultInjectingVFS`; this module is the same
+discipline applied to the wire.  A :class:`FaultSchedule` scripts faults
+against *counted protocol events* — connect attempts, frame sends,
+response-frame reads — and a :class:`FaultInjectingTransport` wraps each
+client socket to execute them, so a drill can disconnect the client at
+every response boundary in turn and prove the retry machinery keeps each
+acked write applied exactly once.
+
+Fault points (all counters are global across every socket the schedule
+touches, so they keep advancing across reconnects):
+
+* ``refuse_connects`` — the first N connect attempts raise
+  ``ConnectionRefusedError`` (server down / backlog full).
+* ``break_send_at`` — that send call fails before any byte leaves: the
+  request never reached the server (safe to retry blindly).
+* ``torn_send_at`` — half the bytes leave, then the connection dies: the
+  server reads a torn frame and discards it whole, so a torn *request*
+  is never half-applied (DESIGN.md §10); any complete frames in front of
+  the tear *are* applied — exactly the case idempotent retry exists for.
+* ``drop_response_at`` — the connection dies just before that response
+  frame is read: the server applied the write and sent the ack, the
+  client never saw it.  The acked-but-lost case; a blind retry would
+  double-apply without the server's dedup window.
+* ``torn_response_at`` — the response frame arrives cut in half
+  (``TornFrameError`` on the client), same recovery obligation.
+* ``delay`` — an optional hook called before every counted event with
+  its name; drills pass a ``DeterministicScheduler`` step hook or a
+  sleep to model latency.
+
+:func:`FaultSchedule.random` derives a randomized-but-reproducible
+schedule from a seed — the chaos job prints the seed on failure so any
+red run replays bit-for-bit.
+
+Counters are locked: a pooled client's threads may share one schedule.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import threading
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "FaultSchedule",
+    "FaultInjectingTransport",
+    "FaultyConnector",
+]
+
+_LENGTH = struct.Struct(">I")
+
+
+class FaultSchedule:
+    """Scripted network faults, consulted by every wrapped socket.
+
+    ``break_send_at`` / ``torn_send_at`` index *send calls* (a pipeline
+    burst is one call), ``drop_response_at`` / ``torn_response_at``
+    index *response frames*, all 1-based and global across sockets.
+    """
+
+    def __init__(self, *, refuse_connects: int = 0,
+                 break_send_at: Iterable[int] = (),
+                 torn_send_at: Iterable[int] = (),
+                 drop_response_at: Iterable[int] = (),
+                 torn_response_at: Iterable[int] = (),
+                 delay: Callable[[str], None] | None = None) -> None:
+        self.refuse_connects = refuse_connects
+        self.break_send_at = set(break_send_at)
+        self.torn_send_at = set(torn_send_at)
+        overlap = self.break_send_at & self.torn_send_at
+        if overlap:
+            raise ValueError(f"send faults overlap: {sorted(overlap)}")
+        self.drop_response_at = set(drop_response_at)
+        self.torn_response_at = set(torn_response_at)
+        overlap = self.drop_response_at & self.torn_response_at
+        if overlap:
+            raise ValueError(f"response faults overlap: {sorted(overlap)}")
+        self.delay = delay
+        self._lock = threading.Lock()
+        #: Counted events so far (inspection / next-schedule sizing).
+        self.connects = 0
+        self.sends = 0
+        self.responses = 0
+        #: Every fault fired: ``(kind, 1-based index)`` — lets a drill
+        #: assert the scheduled fault actually happened.
+        self.injected: list[tuple[str, int]] = []
+
+    @classmethod
+    def random(cls, seed: int, *, sends: int, fault_rate: float = 0.15,
+               refuse_connects: int = 0, responses: int | None = None,
+               delay: Callable[[str], None] | None = None
+               ) -> "FaultSchedule":
+        """A reproducible chaos schedule over ``sends`` send calls (and
+        ``responses`` response frames, default the same count): each
+        event independently faults with ``fault_rate``, fault flavour
+        chosen uniformly.  Same seed, same schedule."""
+        rng = random.Random(seed)
+        if responses is None:
+            responses = sends
+        break_send, torn_send, drop_resp, torn_resp = set(), set(), set(), set()
+        for index in range(1, sends + 1):
+            if rng.random() < fault_rate:
+                (break_send if rng.random() < 0.5 else torn_send).add(index)
+        for index in range(1, responses + 1):
+            if rng.random() < fault_rate:
+                (drop_resp if rng.random() < 0.5 else torn_resp).add(index)
+        return cls(refuse_connects=refuse_connects,
+                   break_send_at=break_send, torn_send_at=torn_send,
+                   drop_response_at=drop_resp, torn_response_at=torn_resp,
+                   delay=delay)
+
+    # -- event gates (called by the transport) -----------------------------
+
+    def _event(self, name: str) -> None:
+        if self.delay is not None:
+            self.delay(name)
+
+    def on_connect(self) -> None:
+        """Gate one connect attempt; raises to refuse it."""
+        with self._lock:
+            self.connects += 1
+            index = self.connects
+            refused = index <= self.refuse_connects
+            if refused:
+                self.injected.append(("refuse_connect", index))
+        self._event(f"net:connect:{index}")
+        if refused:
+            raise ConnectionRefusedError(
+                f"injected connection refusal (attempt {index})")
+
+    def on_send(self) -> str | None:
+        """Gate one send call; returns ``None`` | ``"break"`` | ``"torn"``."""
+        with self._lock:
+            self.sends += 1
+            index = self.sends
+            if index in self.break_send_at:
+                fault = "break"
+            elif index in self.torn_send_at:
+                fault = "torn"
+            else:
+                fault = None
+            if fault:
+                self.injected.append((f"{fault}_send", index))
+        self._event(f"net:send:{index}")
+        return fault
+
+    def on_response(self) -> str | None:
+        """Gate one response-frame read; ``None`` | ``"drop"`` | ``"torn"``."""
+        with self._lock:
+            self.responses += 1
+            index = self.responses
+            if index in self.drop_response_at:
+                fault = "drop"
+            elif index in self.torn_response_at:
+                fault = "torn"
+            else:
+                fault = None
+            if fault:
+                self.injected.append((f"{fault}_response", index))
+        self._event(f"net:response:{index}")
+        return fault
+
+
+class FaultInjectingTransport:
+    """One faulty socket: a real socket behind a :class:`FaultSchedule`.
+
+    Satisfies the slice of the socket API the client stack uses
+    (``sendall``/``recv``/``close``/timeouts/options).  The receive side
+    reassembles whole response frames internally — that is what lets the
+    schedule target exact response boundaries — and hands bytes back in
+    whatever chunk sizes the caller asks for.
+    """
+
+    def __init__(self, sock: socket.socket, schedule: FaultSchedule) -> None:
+        self._sock = sock
+        self._schedule = schedule
+        self._buffer = b""      # unconsumed bytes of the current frame
+        self._forced_eof = False
+
+    # -- fault execution ---------------------------------------------------
+
+    def _die(self) -> None:
+        """Kill the connection the way a reset does."""
+        self._forced_eof = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def sendall(self, data: bytes) -> None:
+        fault = self._schedule.on_send()
+        if fault == "break":
+            self._die()
+            raise ConnectionResetError("injected disconnect before send")
+        if fault == "torn":
+            try:
+                self._sock.sendall(data[:max(1, len(data) // 2)])
+            except OSError:
+                pass
+            self._die()
+            raise ConnectionResetError("injected disconnect mid-send")
+        self._sock.sendall(data)
+
+    def _read_exact(self, length: int) -> bytes | None:
+        chunks = []
+        received = 0
+        while received < length:
+            chunk = self._sock.recv(min(length - received, 1 << 16))
+            if not chunk:
+                return None  # EOF (clean or torn — caller decides)
+            chunks.append(chunk)
+            received += len(chunk)
+        return b"".join(chunks)
+
+    def recv(self, size: int) -> bytes:
+        if size <= 0:
+            return b""
+        if not self._buffer:
+            if self._forced_eof:
+                return b""
+            # Frame boundary: pull one whole response frame, consulting
+            # the schedule first.
+            fault = self._schedule.on_response()
+            if fault == "drop":
+                self._die()
+                raise ConnectionResetError(
+                    "injected disconnect before response")
+            header = self._read_exact(_LENGTH.size)
+            if header is None:
+                return b""  # true EOF from the server
+            (length,) = _LENGTH.unpack(header)
+            payload = self._read_exact(length)
+            frame = header + (payload if payload is not None else b"")
+            if fault == "torn":
+                # Deliver the header and half the payload, then EOF:
+                # the client's frame reader sees a torn response.
+                self._buffer = frame[:_LENGTH.size + max(0, length // 2)]
+                self._die()
+            else:
+                self._buffer = frame
+        served, self._buffer = self._buffer[:size], self._buffer[size:]
+        return served
+
+    # -- socket API pass-through -------------------------------------------
+
+    def settimeout(self, timeout: float | None) -> None:
+        try:
+            self._sock.settimeout(timeout)
+        except OSError:
+            pass
+
+    def gettimeout(self) -> float | None:
+        return self._sock.gettimeout()
+
+    def setsockopt(self, *args: Any) -> None:
+        self._sock.setsockopt(*args)
+
+    def getpeername(self) -> Any:
+        return self._sock.getpeername()
+
+    def shutdown(self, how: int) -> None:
+        self._sock.shutdown(how)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+
+class FaultyConnector:
+    """``Client(connector=...)`` hook: dial through the fault schedule.
+
+    Callable with the same shape as ``socket.create_connection`` (the
+    client's default connector); refusals and per-socket faults all come
+    from the shared :class:`FaultSchedule`.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+
+    def __call__(self, address: tuple[str, int],
+                 timeout: float | None = None) -> FaultInjectingTransport:
+        self.schedule.on_connect()
+        sock = socket.create_connection(address, timeout=timeout)
+        return FaultInjectingTransport(sock, self.schedule)

@@ -72,7 +72,12 @@ STATUS_OK = 0
 STATUS_ERROR = 1
 
 #: Operations the server understands (Table 1 plus engine surface).
-OPS = ("put", "get", "delete", "lookup", "rangelookup", "scan", "stats")
+#: ``apply`` is the idempotent write envelope the retrying client uses:
+#: ``[request_id, "apply", client_id, client_seq, op, args]`` — the
+#: server's dedup window keys on ``(client_id, client_seq)`` and replays
+#: the original result (same sequence number) instead of re-applying.
+OPS = ("put", "get", "delete", "lookup", "rangelookup", "scan", "stats",
+       "apply")
 
 
 class ProtocolError(Exception):

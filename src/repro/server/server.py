@@ -37,6 +37,7 @@ import logging
 import queue
 import socket
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -58,7 +59,7 @@ from repro.server.protocol import (
 logger = logging.getLogger(__name__)
 
 __all__ = ["Server", "ServerStats", "DEFAULT_MAX_INFLIGHT",
-           "DEFAULT_SCAN_LIMIT", "MAX_COALESCED_OPS"]
+           "DEFAULT_SCAN_LIMIT", "MAX_COALESCED_OPS", "DEDUP_WINDOW"]
 
 #: Unanswered requests one connection may have queued before its reader
 #: stops reading the socket (the backpressure bound).
@@ -70,6 +71,12 @@ DEFAULT_SCAN_LIMIT = 1000
 
 #: Longest run of pipelined writes folded into one WriteBatch.
 MAX_COALESCED_OPS = 128
+
+#: Acked write results remembered per client for idempotent-retry dedup.
+#: A retry more than this many writes behind the client's newest is no
+#: longer recognizable — far beyond any real retry horizon (a client
+#: retries its most recent unacked writes, not a thousand-op backlog).
+DEDUP_WINDOW = 1024
 
 _EOF = object()          # reader -> worker: clean end of stream
 _REJECT = "__reject__"   # reader -> worker: fatal frame error, then close
@@ -89,6 +96,9 @@ class ServerStats:
     coalesced_groups: int = 0     # write runs folded into one WriteBatch
     coalesced_ops: int = 0        # ops committed through those runs
     max_coalesced_ops: int = 0
+    dedup_hits: int = 0           # retried writes answered from the window
+    dedup_applied: int = 0        # idempotent writes applied first-hand
+    leaked_threads: int = 0       # threads still alive after close() joins
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -102,7 +112,27 @@ class ServerStats:
             "coalesced_groups": self.coalesced_groups,
             "coalesced_ops": self.coalesced_ops,
             "max_coalesced_ops": self.max_coalesced_ops,
+            "dedup_hits": self.dedup_hits,
+            "dedup_applied": self.dedup_applied,
+            "leaked_threads": self.leaked_threads,
         }
+
+
+class _DedupWindow:
+    """One client's remembered write results (idempotent-retry dedup).
+
+    ``results`` maps the client's write sequence to the result it was
+    (or would have been) acked with; the lock makes check-and-apply
+    atomic per client, so a retry racing its original attempt — the old
+    connection's worker may still be draining when the client has
+    already reconnected — can never double-apply.
+    """
+
+    __slots__ = ("lock", "results")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.results: OrderedDict[int, Any] = OrderedDict()
 
 
 class _Connection:
@@ -157,6 +187,11 @@ class Server:
         self._connections: set[_Connection] = set()
         self._conn_lock = threading.Lock()
         self._closing = threading.Event()
+        # Idempotent-retry dedup: client_id -> its bounded result window.
+        # Per-client locks make check-and-apply atomic even when a retry
+        # races the original attempt still draining on a dead connection.
+        self._dedup: dict[str, _DedupWindow] = {}
+        self._dedup_lock = threading.Lock()
         # -- engine binding -------------------------------------------------
         if isinstance(db, DB):
             self.db = db
@@ -209,18 +244,61 @@ class Server:
         assert self._listener is not None, "server not started"
         return self._listener.getsockname()[:2]
 
-    def close(self) -> None:
-        """Stop accepting, drop every connection, join all threads."""
+    def close(self, drain: bool = False, timeout: float = 5.0) -> None:
+        """Stop the server and join all threads.
+
+        ``drain=False`` (the default) drops every connection immediately:
+        in-flight requests may die unanswered.  ``drain=True`` is the
+        graceful path — the drain state machine (DESIGN.md §13):
+
+        1. stop accepting (close the listener);
+        2. half-close every connection for reading (``SHUT_RD``): each
+           reader consumes the bytes already in flight, then sees a clean
+           EOF and enqueues the end-of-stream marker *behind* every fully
+           received request;
+        3. each worker finishes its queued requests — commits them
+           through the engine's group commit and writes every response —
+           before it observes the marker and exits.
+
+        A torn frame at the cut is discarded whole (never half-applied),
+        and every request whose last byte arrived gets executed *and*
+        answered, so a pipelining client loses nothing it was acked.
+
+        Either way, threads still alive after their ``timeout`` join are
+        counted in ``stats.leaked_threads`` (and logged) instead of being
+        silently abandoned; tests assert the counter stays zero.
+        """
         if self._closing.is_set():
             return
         self._closing.set()
         if self._listener is not None:
+            # shutdown() before close(): close() alone does not wake a
+            # thread already blocked in accept() on Linux — the silent
+            # leak the leaked_threads counter exists to catch.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
                 pass
         with self._conn_lock:
             connections = list(self._connections)
+        if drain:
+            for conn in connections:
+                try:
+                    conn.sock.shutdown(socket.SHUT_RD)
+                except OSError:
+                    pass
+            if self._accept_thread is not None:
+                self._accept_thread.join(timeout=timeout)
+            for conn in connections:
+                for thread in (conn.reader, conn.worker):
+                    if thread is not None:
+                        thread.join(timeout=timeout)
+        # Hard phase: whatever is still up (everything, when drain=False;
+        # only stragglers past the drain timeout otherwise) gets dropped.
         for conn in connections:
             conn.closing.set()
             try:
@@ -232,11 +310,23 @@ class Server:
             except OSError:
                 pass
         if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5)
+            self._accept_thread.join(timeout=timeout)
         for conn in connections:
             for thread in (conn.reader, conn.worker):
                 if thread is not None:
-                    thread.join(timeout=5)
+                    thread.join(timeout=timeout)
+        leaked = 0
+        if self._accept_thread is not None \
+                and self._accept_thread.is_alive():
+            leaked += 1
+        for conn in connections:
+            for thread in (conn.reader, conn.worker):
+                if thread is not None and thread.is_alive():
+                    leaked += 1
+        if leaked:
+            self.stats.leaked_threads += leaked
+            logger.warning("server close leaked %d threads "
+                           "(still alive after %.1fs joins)", leaked, timeout)
 
     def __enter__(self) -> "Server":
         if self._listener is None:
@@ -511,10 +601,49 @@ class Server:
     # -- op dispatch -------------------------------------------------------------
 
     def _dispatch(self, op: str, args: list) -> Any:
+        if op == "apply":
+            # Handled outside the engine lock: _op_apply re-enters
+            # _dispatch for the inner op (the lock is not reentrant).
+            return self._op_apply(args)
         if self._lock is not None:
             with self._lock:
                 return self._dispatch_unlocked(op, args)
         return self._dispatch_unlocked(op, args)
+
+    def _op_apply(self, args: list) -> Any:
+        """Idempotent write envelope: ``[client_id, client_seq, op, args]``.
+
+        The first application stores its result in the client's dedup
+        window; a retry of the same ``(client_id, client_seq)`` replays
+        that result — same sequence number, nothing re-applied.  Errors
+        are not cached: nothing was applied, so retrying is safe, and a
+        deterministic error simply errors again.
+        """
+        if len(args) != 4 or not isinstance(args[0], str) \
+                or not isinstance(args[1], int) \
+                or not isinstance(args[2], str) \
+                or not isinstance(args[3], list):
+            raise InvalidArgumentError(
+                "apply needs [client_id, client_seq, op, args]")
+        client_id, client_seq, op, inner_args = args
+        if op not in ("put", "delete"):
+            raise InvalidArgumentError(
+                f"apply wraps writes only, not {op!r} "
+                "(reads are idempotent without it)")
+        with self._dedup_lock:
+            window = self._dedup.get(client_id)
+            if window is None:
+                window = self._dedup[client_id] = _DedupWindow()
+        with window.lock:
+            if client_seq in window.results:
+                self.stats.dedup_hits += 1
+                return window.results[client_seq]
+            result = self._dispatch(op, inner_args)
+            self.stats.dedup_applied += 1
+            window.results[client_seq] = result
+            while len(window.results) > DEDUP_WINDOW:
+                window.results.popitem(last=False)
+            return result
 
     def _dispatch_unlocked(self, op: str, args: list) -> Any:
         if op == "put":

@@ -314,10 +314,13 @@ def cmd_serve(directory: str, name: str, out: IO[str], host: str,
     indexes.
 
     Prints ``listening on HOST:PORT`` once the socket is bound; runs until
-    interrupted (Ctrl-C / SIGTERM).
+    interrupted.  SIGTERM (and Ctrl-C) triggers a graceful drain: stop
+    accepting, finish every fully received request, answer it, flush, then
+    exit 0 — no acked write is lost, no request half-applied.
     """
     import os as _os
-    import time as _time
+    import signal as _signal
+    import threading as _threading
 
     from repro.server import Server
 
@@ -337,7 +340,8 @@ def cmd_serve(directory: str, name: str, out: IO[str], host: str,
             local_indexes=index_map,
             options=Options(sync_writes=sync,
                             compaction_processes=compaction_processes,
-                            shm_cache_bytes=shm_cache_bytes))
+                            shm_cache_bytes=shm_cache_bytes),
+            meta_vfs=LocalVFS(_os.path.join(directory, f"{name}-cluster")))
         closer = db.close
     elif indexes:
         from repro.core.database import SecondaryIndexedDB
@@ -358,18 +362,37 @@ def cmd_serve(directory: str, name: str, out: IO[str], host: str,
                            shm_cache_bytes=shm_cache_bytes))
         closer = db.close
     server = Server(db, host=host, port=port, max_inflight=max_inflight)
+    stop = _threading.Event()
+    previous_handler = None
+    try:
+        previous_handler = _signal.signal(
+            _signal.SIGTERM, lambda _signo, _frame: stop.set())
+    except ValueError:
+        pass  # not the main thread (tests drive cmd_serve directly)
     try:
         bound_host, bound_port = server.start()
         out.write(f"listening on {bound_host}:{bound_port}\n")
         out.flush()
-        while True:
-            _time.sleep(0.5)
+        while not stop.wait(0.5):
+            pass
+        out.write("draining\n")
+        out.flush()
+        return 0
     except KeyboardInterrupt:
-        out.write("shutting down\n")
+        out.write("draining\n")
         return 0
     finally:
-        server.close()
+        # Graceful drain on every exit path: every fully received
+        # request is executed and answered before the threads join, so
+        # acked writes reach the engine before closer() makes them
+        # durable on disk.
+        server.close(drain=True)
         closer()
+        if previous_handler is not None:
+            try:
+                _signal.signal(_signal.SIGTERM, previous_handler)
+            except ValueError:
+                pass
 
 
 def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:

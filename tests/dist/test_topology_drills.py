@@ -1,0 +1,262 @@
+"""Crash-point enumeration over the durable topology.
+
+The whole cluster — every shard replica *and* the CLUSTER manifest —
+lives on one shared :class:`FaultInjectingVFS` (shard files carry a
+``shard-N/`` name prefix, so one filesystem holds them all, exactly like
+one data directory on a real disk).  The drill records the clean run's
+mutating-operation log, then replays the workload crashing at every
+enumerated operation — always including every CLUSTER/CLUSTER.tmp write,
+the ops the two-phase split protocol stakes its correctness on — and
+reopens through the manifest.  Every crash point must land on:
+
+* the **old** topology (2 shards, no committed split) with *zero* files
+  under the would-be destination's prefix (no orphan shard), or
+* the **new** topology (3 shards, split committed) serving every acked
+  write;
+
+and in both cases ``verify_integrity()`` is clean and every write acked
+before the crash answers with its exact document.  A write in flight at
+the crash may legitimately be present or absent (it was never acked) —
+anything else present is a corruption.
+
+``REPRO_DIST_DRILLS=full`` enumerates every operation;
+``DIST_DRILL_LOG_DIR`` keeps per-point outcomes as artifacts.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.base import IndexKind
+from repro.dist.cluster import ShardedDB
+from repro.lsm.errors import SimulatedCrashError
+from repro.lsm.faults import FaultInjectingVFS, FaultInjectedError
+from repro.lsm.options import Options
+from repro.lsm.vfs import MemoryVFS
+
+from tests.dist.test_migration_drills import MOVING, STAYING, _open_log
+
+FULL = os.environ.get("REPRO_DIST_DRILLS") == "full"
+
+
+def _options():
+    return Options(block_size=512, sstable_target_size=2 * 1024,
+                   memtable_budget=2 * 1024, l1_target_size=8 * 1024,
+                   sync_writes=True)
+
+
+def _open(vfs):
+    return ShardedDB.open(lambda _sid, _rid: vfs, num_shards=2,
+                          replication_factor=1,
+                          local_indexes={"UserID": IndexKind.LAZY},
+                          options=_options(), meta_vfs=vfs)
+
+
+def _workload(vfs, record):
+    """Preload, split shard 0, write post-split, close.
+
+    ``record["acked"]`` collects writes whose put() returned;
+    ``record["in_flight"]`` names the one write racing the crash."""
+    acked = record["acked"]
+
+    def put(cluster, key, doc):
+        record["in_flight"] = (key, doc)
+        cluster.put(key, doc)
+        acked[key] = doc
+        record["in_flight"] = None
+
+    cluster = _open(vfs)
+    for i, key in enumerate(MOVING[:2] + STAYING[:2]):
+        put(cluster, key, {"UserID": f"u{i % 2}", "n": i})
+    cluster.split_shard(0)
+    record["split_done"] = True
+    put(cluster, MOVING[2], {"UserID": "u0", "n": 100})
+    put(cluster, STAYING[2], {"UserID": "u1", "n": 101})
+    cluster.close()
+
+
+def _reopen_and_check(vfs, record):
+    """Reopen through the manifest and assert the drill invariants.
+
+    Returns ``"old"`` or ``"new"`` — which side of the durable decision
+    point the crash landed on."""
+    reopened = _open(vfs)
+    try:
+        shards = len(reopened.data_shards)
+        assert shards in (2, 3), f"impossible shard count {shards}"
+        if shards == 2:
+            assert reopened.ring.splits == ()
+            # The un-flipped destination was purged whole: zero orphans.
+            assert vfs.list_dir("shard-2/") == []
+            outcome = "old"
+        else:
+            assert reopened.ring.splits == ((0, 2),)
+            outcome = "new"
+        topology = reopened.stats()["topology"]
+        assert topology is not None and topology["durable"]
+        assert topology["in_flight"] is None
+        assert topology["pending_cleanup"] is False
+        report = reopened.verify_integrity()
+        assert all(r.ok for r in report.values()), report
+        # Every acked write answers with its exact document...
+        for key, doc in record["acked"].items():
+            assert reopened.get(key) == doc, f"acked write {key!r} lost"
+        # ...and nothing else exists, except possibly the one write that
+        # was in flight (never acked) when the crash hit.
+        live = dict(reopened.scan())
+        extras = set(live) - set(record["acked"])
+        in_flight = record["in_flight"]
+        if in_flight is None:
+            assert extras == set(), f"unexpected keys {sorted(extras)}"
+        else:
+            assert extras <= {in_flight[0]}, \
+                f"unexpected keys {sorted(extras - {in_flight[0]})}"
+            if in_flight[0] in extras:
+                assert live[in_flight[0]] == in_flight[1]
+        reopened.close()
+    except BaseException:
+        reopened.close()
+        raise
+    return outcome
+
+
+def _baseline():
+    """The clean run: total mutating ops plus the (kind, name) log."""
+    vfs = FaultInjectingVFS()
+    record = {"acked": {}, "in_flight": None, "split_done": False}
+    _workload(vfs, record)
+    assert record["split_done"]
+    return vfs.op_count, list(vfs.op_log)
+
+
+def _crash_points(total, op_log):
+    """Which 1-based ops to crash at: everything under FULL, otherwise a
+    stride sample plus *every* manifest write and its neighbours (the
+    ops the durable protocol actually turns on)."""
+    manifest_ops = {i + 1 for i, (_kind, name) in enumerate(op_log)
+                    if name.startswith("CLUSTER")}
+    assert manifest_ops, "workload never wrote the CLUSTER manifest"
+    if FULL:
+        return sorted(range(1, total + 1))
+    points = set(range(1, total + 1, max(1, total // 24)))
+    for at_op in manifest_ops:
+        points.update(p for p in (at_op - 1, at_op, at_op + 1)
+                      if 1 <= p <= total)
+    return sorted(points)
+
+
+class TestTopologyCrashDrills:
+    def test_reopen_lands_on_old_or_new_topology_at_every_crash_point(self):
+        total, op_log = _baseline()
+        assert total > 50, "workload too small to enumerate"
+        points = _crash_points(total, op_log)
+        outcomes = {"old": 0, "new": 0}
+        log = _open_log("topology-crash.log")
+        try:
+            for at_op in points:
+                vfs = FaultInjectingVFS()
+                vfs.schedule_crash(at_op)
+                record = {"acked": {}, "in_flight": None,
+                          "split_done": False}
+                try:
+                    _workload(vfs, record)
+                except SimulatedCrashError:
+                    pass
+                else:
+                    # Baseline-length runs may finish before late points.
+                    record["in_flight"] = None
+                vfs.reboot("drop")
+                outcome = _reopen_and_check(vfs, record)
+                outcomes[outcome] += 1
+                if record["split_done"]:
+                    assert outcome == "new", \
+                        f"committed split lost at op {at_op}"
+                if log is not None:
+                    kind, name = (op_log[at_op - 1]
+                                  if at_op <= len(op_log) else ("", ""))
+                    log.write(json.dumps({
+                        "at_op": at_op, "op": f"{kind}:{name}",
+                        "outcome": outcome,
+                        "acked": len(record["acked"])}) + "\n")
+        finally:
+            if log is not None:
+                log.close()
+        # The enumeration must straddle the durable decision point.
+        assert outcomes["old"] > 0, "no crash landed before the flip commit"
+        assert outcomes["new"] > 0, "no crash landed after the flip commit"
+
+    def test_crash_during_initial_manifest_save_reopens_fresh(self):
+        """A fresh cluster that dies mid-first-save reopens as a fresh
+        cluster (stranded CLUSTER.tmp ignored) and saves durably then."""
+        probe = FaultInjectingVFS()
+        _open(probe).close()
+        first_manifest_op = next(
+            i + 1 for i, (_k, name) in enumerate(probe.op_log)
+            if name.startswith("CLUSTER"))
+        for at_op in range(first_manifest_op,
+                           first_manifest_op + 4):
+            vfs = FaultInjectingVFS()
+            vfs.schedule_crash(at_op)
+            try:
+                _open(vfs).close()
+            except SimulatedCrashError:
+                pass
+            vfs.reboot("drop")
+            reopened = _open(vfs)
+            try:
+                assert len(reopened.data_shards) == 2
+                assert reopened.stats()["topology"]["durable"]
+            finally:
+                reopened.close()
+
+
+class TestManifestWriteErrors:
+    """A manifest write that *fails* (ENOSPC-style, no crash) must leave
+    the cluster retryable: the split either never registered or can be
+    resumed, and the final state is exactly the clean run's."""
+
+    def test_split_survives_a_failed_manifest_write_at_every_point(self):
+        probe = FaultInjectingVFS()
+        cluster = _open(probe)
+        for i, key in enumerate(MOVING[:2] + STAYING[:2]):
+            cluster.put(key, {"UserID": f"u{i % 2}", "n": i})
+        ops_before_split = probe.op_count
+        cluster.split_shard(0)
+        cluster.close()
+        # Manifest writes issued by the split itself (intent, flip,
+        # cleanup), past open's initial save and the preload.
+        split_ops = [i + 1 for i, (_k, name) in enumerate(probe.op_log)
+                     if name.startswith("CLUSTER")
+                     and i + 1 > ops_before_split]
+        assert len(split_ops) >= 3 * 4  # three saves, four ops each
+        for at_op in split_ops:
+            vfs = FaultInjectingVFS()
+            vfs.schedule_write_error(at_op)
+            record = {"acked": {}, "in_flight": None, "split_done": False}
+            acked = record["acked"]
+            cluster = _open(vfs)
+            try:
+                for i, key in enumerate(MOVING[:2] + STAYING[:2]):
+                    doc = {"UserID": f"u{i % 2}", "n": i}
+                    cluster.put(key, doc)
+                    acked[key] = doc
+                split = cluster.begin_split(0)
+                try:
+                    split.run()
+                except FaultInjectedError:
+                    # The failed chunk left its phase unfinished; every
+                    # chunk is restartable, so resuming converges.
+                    split.run()
+                assert split.phase == "done"
+                assert len(cluster.data_shards) == 3
+                assert cluster.ring.splits == ((0, 2),)
+                topology = cluster.stats()["topology"]
+                assert topology["in_flight"] is None
+                assert topology["pending_cleanup"] is False
+                for key, doc in acked.items():
+                    assert cluster.get(key) == doc
+                report = cluster.verify_integrity()
+                assert all(r.ok for r in report.values())
+            finally:
+                cluster.close()

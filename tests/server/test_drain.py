@@ -1,0 +1,237 @@
+"""Graceful drain: ``Server.close(drain=True)`` and ``repro serve`` SIGTERM.
+
+The drain contract (DESIGN.md §13): stop accepting, half-close every
+connection for reading, let each worker finish — and answer — every
+request whose last byte arrived, then tear down.  A pipelining client
+caught mid-burst therefore gets a response for every request the server
+fully received, every one of those acked writes is durable, and a torn
+frame at the cut is discarded whole.  Either way the thread census is
+exact: ``stats.leaked_threads`` stays zero (satellite b — before the
+counter existed, a leaked accept thread was silently abandoned).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.lsm.vfs import LocalVFS, MemoryVFS
+from repro.server import Client, Server
+from repro.server.protocol import (
+    ProtocolError,
+    encode_frame,
+    encode_value,
+)
+
+
+def _open_server():
+    db = DB.open(MemoryVFS(), "data", Options(background_compaction=True))
+    server = Server(db)
+    server.start()
+    return server, db
+
+
+class TestDrainClose:
+    def test_idle_close_leaks_nothing(self):
+        server, db = _open_server()
+        with Client(*server.address) as client:
+            client.put(b"k", b"v")
+        server.close(drain=True)
+        assert server.stats.leaked_threads == 0
+        db.close()
+
+    def test_close_with_blocked_accept_leaks_nothing(self):
+        # The regression satellite b exists for: a server that never
+        # accepted anything has its accept thread parked in accept();
+        # close() must wake it (shutdown before close), and the leak
+        # counter must prove it did.
+        server, db = _open_server()
+        server.close()
+        assert server.stats.leaked_threads == 0
+        db.close()
+
+    @pytest.mark.parametrize("drain", [True, False], ids=["drain", "hard"])
+    def test_repeated_close_is_idempotent(self, drain):
+        server, db = _open_server()
+        server.close(drain=drain)
+        server.close(drain=drain)
+        assert server.stats.leaked_threads == 0
+        db.close()
+
+    def test_drain_answers_every_fully_received_request(self):
+        """Drain fires while a pipelined burst is in flight: every
+        request the server fully received is executed, acked, and
+        durable; the client sees either an ack or a clean cut — never a
+        lost ack, never a half-applied batch."""
+        server, db = _open_server()
+        count = 300
+        acked: list[int] = []
+        failed = []
+
+        def writer():
+            try:
+                with Client(*server.address, pool_size=1) as client:
+                    with client.pipeline() as pipe:
+                        for i in range(count):
+                            pipe.put(b"key-%04d" % i, b"value-%04d" % i)
+                    acked.extend(pipe.results)
+            except (OSError, ProtocolError) as exc:
+                failed.append(exc)  # cut mid-drain: legitimate
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.02)  # let part of the burst reach the server
+        server.close(drain=True, timeout=10.0)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert server.stats.leaked_threads == 0
+        # Whatever was acked is in the engine, exactly once.
+        assert sorted(acked) == sorted(set(acked))
+        responses = server.stats.responses
+        assert responses >= len(acked)
+        for seq in acked:
+            assert 1 <= seq <= db.versions.last_sequence
+        if not failed:
+            # The whole burst beat the cut: all 300 acked and durable.
+            assert sorted(acked) == list(range(1, count + 1))
+        for i in range(count):
+            value = db.get(b"key-%04d" % i)
+            assert value in (None, b"value-%04d" % i)
+        db.close()
+
+    def test_drain_executes_requests_queued_behind_the_cut(self):
+        """Requests fully received but not yet executed when drain fires
+        are still executed and answered (the SHUT_RD half-close leaves
+        already-buffered bytes readable)."""
+        server, db = _open_server()
+        host, port = server.address
+        sock = socket.create_connection((host, port))
+        frames = b"".join(
+            encode_frame(encode_value([i + 1, "put",
+                                       b"key-%02d" % i, b"v"]))
+            for i in range(20))
+        sock.sendall(frames)
+        time.sleep(0.05)  # land the bytes in the server's buffers
+        server.close(drain=True, timeout=10.0)
+        assert server.stats.leaked_threads == 0
+        assert db.versions.last_sequence == 20
+        # Every response was written before the teardown.
+        received = b""
+        sock.settimeout(2.0)
+        try:
+            while True:
+                chunk = sock.recv(1 << 16)
+                if not chunk:
+                    break
+                received += chunk
+        except OSError:
+            pass
+        finally:
+            sock.close()
+        assert server.stats.responses == 20
+        assert len(received) > 0
+        db.close()
+
+    def test_hard_close_still_counts_threads(self):
+        server, db = _open_server()
+        with Client(*server.address) as client:
+            client.put(b"k", b"v")
+            server.close(drain=False)
+        assert server.stats.leaked_threads == 0
+        db.close()
+
+
+class TestServeSigterm:
+    def _spawn(self, tmp_path, *extra):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(tmp_path), "db",
+             "--port", "0", *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        line = process.stdout.readline()
+        assert line.startswith("listening on "), \
+            (line, process.stderr.read() if process.poll() is not None
+             else "")
+        host, port = line.strip().rsplit(" ", 1)[-1].rsplit(":", 1)
+        return process, host, int(port)
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        process, host, port = self._spawn(tmp_path)
+        count = 200
+        acked = []
+        failed = []
+        try:
+            client = Client(host, port, pool_size=1)
+            pipe = client.pipeline()
+            for i in range(count):
+                pipe.put(b"key-%04d" % i, b"value-%04d" % i)
+
+            def flush():
+                try:
+                    pipe.flush()
+                    acked.extend(pipe.results)
+                except (OSError, ProtocolError) as exc:
+                    failed.append(exc)
+
+            thread = threading.Thread(target=flush)
+            thread.start()
+            time.sleep(0.05)  # burst in flight
+            process.send_signal(signal.SIGTERM)
+            thread.join(timeout=15)
+            assert not thread.is_alive()
+            client.close()
+        finally:
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                raise
+        stdout = process.stdout.read()
+        process.stdout.close()
+        process.stderr.close()
+        assert process.returncode == 0, (stdout, process.returncode)
+        assert "draining" in stdout
+        # Every acked write is on disk: reopen the store directly.
+        db = DB.open(LocalVFS(str(tmp_path)), "db", Options())
+        try:
+            assert db.versions.last_sequence >= len(acked)
+            acked_keys = (b"key-%04d" % i for i in range(len(acked)))
+            if not failed:
+                assert sorted(acked) == list(range(1, count + 1))
+                acked_keys = (b"key-%04d" % i for i in range(count))
+            for key in acked_keys:
+                assert db.get(key) is not None, f"acked {key!r} lost"
+        finally:
+            db.close()
+
+    def test_sigterm_idle_exits_zero_quickly(self, tmp_path):
+        process, host, port = self._spawn(tmp_path)
+        with Client(host, port) as client:
+            assert client.put(b"k", b"v") == 1
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise
+        assert process.returncode == 0
+        process.stdout.close()
+        process.stderr.close()
+        db = DB.open(LocalVFS(str(tmp_path)), "db", Options())
+        try:
+            assert db.get(b"k") == b"v"
+        finally:
+            db.close()

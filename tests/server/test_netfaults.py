@@ -1,0 +1,228 @@
+"""Unit tests for the network fault machinery and client retry plumbing:
+schedules, transports, backoff, reconnect, and the close()/checkout race.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.lsm.vfs import MemoryVFS
+from repro.server import Client, Server
+from repro.server.client import ClientClosedError, RetryPolicy
+from repro.server.netfaults import FaultSchedule, FaultyConnector
+from repro.server.protocol import ProtocolError
+
+
+@pytest.fixture()
+def kv_server():
+    db = DB.open(MemoryVFS(), "data", Options(background_compaction=True))
+    server = Server(db)
+    server.start()
+    yield server, db
+    server.close()
+    db.close()
+
+
+def _fast_retry(**overrides):
+    """A RetryPolicy that never sleeps for real (drills stay instant)."""
+    defaults = dict(deadline=30.0, base_delay=0.001, max_delay=0.01,
+                    sleep=lambda _s: None)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+def connect(server, schedule=None, **kwargs):
+    host, port = server.address
+    if schedule is not None:
+        kwargs["connector"] = FaultyConnector(schedule)
+    return Client(host, port, **kwargs)
+
+
+# -- FaultSchedule -----------------------------------------------------------
+
+class TestFaultSchedule:
+    def test_overlapping_send_faults_rejected(self):
+        with pytest.raises(ValueError, match="send faults overlap"):
+            FaultSchedule(break_send_at={1, 2}, torn_send_at={2})
+        with pytest.raises(ValueError, match="response faults overlap"):
+            FaultSchedule(drop_response_at={3}, torn_response_at={3})
+
+    def test_counters_and_injected_log(self):
+        schedule = FaultSchedule(refuse_connects=1, break_send_at={2},
+                                 drop_response_at={1})
+        with pytest.raises(ConnectionRefusedError):
+            schedule.on_connect()
+        schedule.on_connect()
+        assert schedule.on_send() is None
+        assert schedule.on_send() == "break"
+        assert schedule.on_response() == "drop"
+        assert (schedule.connects, schedule.sends,
+                schedule.responses) == (2, 2, 1)
+        assert schedule.injected == [("refuse_connect", 1),
+                                     ("break_send", 2),
+                                     ("drop_response", 1)]
+
+    def test_random_is_reproducible(self):
+        first = FaultSchedule.random(42, sends=100)
+        second = FaultSchedule.random(42, sends=100)
+        assert first.break_send_at == second.break_send_at
+        assert first.torn_send_at == second.torn_send_at
+        assert first.drop_response_at == second.drop_response_at
+        assert first.torn_response_at == second.torn_response_at
+        different = FaultSchedule.random(43, sends=100)
+        assert (first.break_send_at, first.drop_response_at) != \
+            (different.break_send_at, different.drop_response_at)
+
+    def test_random_respects_fault_rate_extremes(self):
+        none = FaultSchedule.random(1, sends=50, fault_rate=0.0)
+        assert not (none.break_send_at | none.torn_send_at
+                    | none.drop_response_at | none.torn_response_at)
+        full = FaultSchedule.random(1, sends=50, fault_rate=1.0)
+        assert (full.break_send_at | full.torn_send_at) == \
+            set(range(1, 51))
+
+    def test_delay_hook_sees_every_event(self):
+        events = []
+        schedule = FaultSchedule(delay=events.append)
+        schedule.on_connect()
+        schedule.on_send()
+        schedule.on_response()
+        assert events == ["net:connect:1", "net:send:1", "net:response:1"]
+
+
+# -- RetryPolicy -------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(2) == pytest.approx(0.4)
+        assert policy.backoff(3) == pytest.approx(0.5)  # capped
+        assert policy.backoff(10) == pytest.approx(0.5)
+
+    def test_jitter_only_shrinks(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.5)
+        for attempt in range(6):
+            nominal = min(1.0, 0.1 * 2 ** attempt)
+            for _ in range(20):
+                delay = policy.backoff(attempt)
+                assert nominal * 0.5 <= delay <= nominal
+
+
+# -- reconnect / retry wiring -------------------------------------------------
+
+class TestReconnect:
+    def test_refused_connects_retried_within_deadline(self, kv_server):
+        server, _db = kv_server
+        slept = []
+        schedule = FaultSchedule(refuse_connects=3)
+        policy = _fast_retry(sleep=slept.append)
+        with connect(server, schedule, retry=policy) as client:
+            assert client.put(b"k", b"v") == 1
+        assert schedule.connects == 4  # 3 refusals + 1 success
+        assert len(slept) == 3
+        # Exponential shape survives jitter: each nominal doubles.
+        assert slept[0] <= 0.001 and slept[1] <= 0.002
+
+    def test_without_retry_refusal_surfaces(self, kv_server):
+        server, _db = kv_server
+        schedule = FaultSchedule(refuse_connects=1)
+        with connect(server, schedule) as client:
+            with pytest.raises(ConnectionRefusedError):
+                client.put(b"k", b"v")
+
+    def test_deadline_exhaustion_reraises_last_error(self, kv_server):
+        server, _db = kv_server
+        clock = [0.0]
+
+        def fake_clock():
+            return clock[0]
+
+        def fake_sleep(seconds):
+            clock[0] += seconds
+
+        schedule = FaultSchedule(refuse_connects=10_000)
+        policy = RetryPolicy(deadline=0.05, base_delay=0.01,
+                             sleep=fake_sleep, clock=fake_clock)
+        with connect(server, schedule, retry=policy) as client:
+            with pytest.raises(ConnectionRefusedError):
+                client.put(b"k", b"v")
+        # The deadline bounded the attempts well below the fault budget.
+        assert schedule.connects < 100
+
+    def test_torn_response_without_retry_is_protocol_error(self, kv_server):
+        server, _db = kv_server
+        schedule = FaultSchedule(torn_response_at={1})
+        with connect(server, schedule) as client:
+            with pytest.raises(ProtocolError):
+                client.put(b"k", b"v")
+
+    def test_remote_error_is_never_retried(self, kv_server):
+        server, _db = kv_server
+        from repro.server import RemoteError
+        with connect(server, retry=_fast_retry()) as client:
+            before = server.stats.requests
+            with pytest.raises(RemoteError):
+                client._call("frobnicate", [])
+            # Exactly one request reached the server: no blind retries
+            # of an answered (failed) call.
+            assert server.stats.requests == before + 1
+
+
+# -- close() semantics (satellite a) ------------------------------------------
+
+class TestClientClose:
+    def test_closed_client_raises_client_closed(self, kv_server):
+        server, _db = kv_server
+        client = connect(server)
+        client.put(b"k", b"v")
+        client.close()
+        with pytest.raises(ClientClosedError):
+            client.get(b"k")
+        client.close()  # idempotent
+
+    def test_close_wakes_blocked_checkout_waiter(self, kv_server):
+        """A thread parked in checkout (pool exhausted) must be woken
+        with ClientClosedError by close(), not left hanging forever."""
+        server, _db = kv_server
+        client = connect(server, pool_size=1)
+        client.put(b"seed", b"v")       # materialize the one connection
+        conn = client._checkout()        # hold it: the pool is now empty
+        results = []
+
+        def waiter():
+            try:
+                client.get(b"seed")
+            except BaseException as exc:  # noqa: BLE001 - inspected below
+                results.append(exc)
+            else:
+                results.append(None)
+
+        threads = [threading.Thread(target=waiter) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)  # let the waiters park on the empty pool
+        client.close()
+        for thread in threads:
+            thread.join(timeout=5)
+            assert not thread.is_alive(), "checkout waiter hung on close()"
+        assert len(results) == 3
+        assert all(isinstance(r, ClientClosedError) for r in results)
+        client._release(conn)  # held connection discards cleanly
+
+    def test_close_is_not_retried_into(self, kv_server):
+        """ClientClosedError must pierce the retry loop immediately."""
+        server, _db = kv_server
+        attempts = []
+        policy = _fast_retry(sleep=attempts.append)
+        client = connect(server, retry=policy)
+        client.close()
+        with pytest.raises(ClientClosedError):
+            client.put(b"k", b"v")
+        assert attempts == []  # zero backoff sleeps: it never retried
